@@ -1,0 +1,66 @@
+// Command flexbench regenerates every table and figure of the paper's
+// evaluation (§7) on synthetic laptop-sized datasets:
+//
+//	flexbench -experiment table2            # single-machine system comparison
+//	flexbench -experiment fig13 -scale 0.5  # simulated multi-machine scaling
+//	flexbench -experiment all               # everything
+//
+// Experiments: table1, table2, table3, table4, table5, fig13, fig14,
+// fig15a, fig15b (fig15b covers both 15b and 15c).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run (table1..table5, fig13, fig14, fig15a, fig15b, verify, all)")
+	scale := flag.Float64("scale", 0.5, "dataset scale factor (1.0 = default laptop size)")
+	epochs := flag.Int("epochs", 3, "timed epochs to average per measurement")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	o := bench.Options{Scale: *scale, Epochs: *epochs, Seed: *seed}
+	runners := map[string]func(bench.Options){
+		"verify": func(o bench.Options) {
+			out, ok := bench.FormatVerify(bench.Verify(o))
+			fmt.Print(out)
+			if !ok {
+				os.Exit(1)
+			}
+		},
+		"table1": func(o bench.Options) { fmt.Print(bench.FormatTable1(bench.Table1(o))) },
+		"table2": func(o bench.Options) { fmt.Print(bench.FormatTable2(bench.Table2(o))) },
+		"table3": func(o bench.Options) { fmt.Print(bench.FormatTable3(bench.Table3(o))) },
+		"table4": func(o bench.Options) { fmt.Print(bench.FormatTable4(bench.Table4(o))) },
+		"table5": func(o bench.Options) { fmt.Print(bench.FormatTable5(bench.Table5(o))) },
+		"fig13":  func(o bench.Options) { fmt.Print(bench.FormatFig13(bench.Fig13(o))) },
+		"fig14":  func(o bench.Options) { fmt.Print(bench.FormatFig14(bench.Fig14(o))) },
+		"fig15a": func(o bench.Options) { fmt.Print(bench.FormatFig15a(bench.Fig15a(o))) },
+		"fig15b": func(o bench.Options) { fmt.Print(bench.FormatFig15bc(bench.Fig15bc(o))) },
+	}
+	order := []string{"table1", "table2", "table3", "table4", "table5", "fig13", "fig14", "fig15a", "fig15b"}
+	// "verify" is run on demand, not as part of "all".
+
+	run := func(name string) {
+		start := time.Now()
+		runners[name](o)
+		fmt.Printf("  [%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if *experiment == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	if _, ok := runners[*experiment]; !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %v or all)\n", *experiment, order)
+		os.Exit(2)
+	}
+	run(*experiment)
+}

@@ -1,0 +1,130 @@
+// Command flexgraph-train is the general-purpose single-machine training
+// CLI: pick a dataset (generated, or loaded from a .fgds file written by
+// datagen/Save), a model, an execution strategy, and train with periodic
+// checkpoints.
+//
+//	flexgraph-train -dataset reddit -model gcn -epochs 50
+//	flexgraph-train -dataset imdb -model magnn -strategy HA -checkpoint m.fgck
+//	flexgraph-train -load graph.fgds -model pinsage -resume m.fgck
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/models"
+	"repro/internal/nau"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func main() {
+	datasetName := flag.String("dataset", "reddit", "generated dataset: reddit, fb91, twitter or imdb")
+	loadPath := flag.String("load", "", "load a serialised .fgds dataset instead of generating one")
+	savePath := flag.String("save-dataset", "", "write the generated dataset to this .fgds path and exit")
+	scale := flag.Float64("scale", 0.25, "generated dataset scale factor")
+	modelName := flag.String("model", "gcn", "model: gcn, gin, ggcn, pinsage, magnn, pgnn or jknet")
+	hidden := flag.Int("hidden", 32, "hidden width")
+	epochs := flag.Int("epochs", 30, "training epochs")
+	lr := flag.Float64("lr", 0.01, "Adam learning rate")
+	strategyName := flag.String("strategy", "HA", "execution strategy: SA, SA+FA or HA")
+	checkpoint := flag.String("checkpoint", "", "write a checkpoint to this path every -checkpoint-every epochs")
+	checkpointEvery := flag.Int("checkpoint-every", 5, "epochs between checkpoints")
+	resume := flag.String("resume", "", "load parameters from this checkpoint before training")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var d *dataset.Dataset
+	var err error
+	if *loadPath != "" {
+		d, err = dataset.Load(*loadPath)
+	} else {
+		d, err = dataset.ByName(*datasetName, dataset.Config{Scale: *scale, Seed: *seed})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dataset:", d.Stats())
+	if *savePath != "" {
+		if err := d.Save(*savePath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *savePath)
+		return
+	}
+
+	rng := tensor.NewRNG(*seed)
+	var model *nau.Model
+	switch *modelName {
+	case "gcn":
+		model = models.NewGCN(d.FeatureDim(), *hidden, d.NumClasses, rng)
+	case "gin":
+		model = models.NewGIN(d.FeatureDim(), *hidden, d.NumClasses, rng)
+	case "ggcn":
+		model = models.NewGGCN(d.FeatureDim(), *hidden, d.NumClasses, rng)
+	case "pinsage":
+		model = models.NewPinSage(d.FeatureDim(), *hidden, d.NumClasses, models.DefaultPinSageConfig(), rng)
+	case "magnn":
+		if len(d.Metapaths) == 0 {
+			log.Fatal("magnn needs a dataset with metapaths")
+		}
+		model = models.NewMAGNN(d.FeatureDim(), *hidden, d.NumClasses, d.Metapaths, models.MAGNNConfig{MaxInstances: 10}, rng)
+	case "pgnn":
+		model = models.NewPGNN(d.Graph, d.FeatureDim(), *hidden, d.NumClasses, 8, 16, rng)
+	case "jknet":
+		model = models.NewJKNet(d.FeatureDim(), *hidden, d.NumClasses, 2, rng)
+	default:
+		log.Fatalf("unknown model %q", *modelName)
+	}
+
+	var strategy engine.Strategy
+	switch *strategyName {
+	case "SA":
+		strategy = engine.StrategySA
+	case "SA+FA", "SAFA":
+		strategy = engine.StrategySAFA
+	case "HA":
+		strategy = engine.StrategyHA
+	default:
+		log.Fatalf("unknown strategy %q", *strategyName)
+	}
+
+	tr := nau.NewTrainer(model, d.Graph, d.Features, d.Labels, d.TrainMask, *seed)
+	tr.Engine = engine.New(strategy)
+	tr.Opt = nn.NewAdam(model.Parameters(), float32(*lr))
+
+	if *resume != "" {
+		if err := nn.LoadCheckpoint(*resume, model.Parameters()); err != nil {
+			log.Fatalf("resume: %v", err)
+		}
+		fmt.Println("resumed from", *resume)
+	}
+
+	start := time.Now()
+	for epoch := 1; epoch <= *epochs; epoch++ {
+		loss, err := tr.Epoch()
+		if err != nil {
+			log.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if epoch == 1 || epoch%5 == 0 || epoch == *epochs {
+			acc, err := tr.Evaluate(nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("epoch %3d  loss %.4f  acc %.3f  elapsed %v\n",
+				epoch, loss, acc, time.Since(start).Round(time.Millisecond))
+		}
+		if *checkpoint != "" && epoch%*checkpointEvery == 0 {
+			if err := nn.SaveCheckpoint(*checkpoint, model.Parameters()); err != nil {
+				fmt.Fprintln(os.Stderr, "checkpoint:", err)
+			}
+		}
+	}
+	fmt.Println("\nstage breakdown:")
+	fmt.Println(tr.Breakdown.Table4Row(model.Name))
+}

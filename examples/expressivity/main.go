@@ -1,0 +1,69 @@
+// Command expressivity demonstrates the paper's §3.2 claim: one
+// abstraction, NAU, expresses GNN models from every category without
+// changing the framework — DNFA (GCN, GIN, G-GCN: direct neighbors, flat
+// aggregation, no HDGs), INFA (PinSage: indirect random-walk neighbors,
+// flat HDGs), and INHA (MAGNN, P-GNN, JK-Net: structured neighbors,
+// hierarchical HDGs). It trains all seven on the same heterogeneous graph
+// and reports what each model's NeighborSelection produced.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	flexgraph "repro"
+)
+
+func main() {
+	d := flexgraph.IMDBLike(flexgraph.DatasetConfig{Scale: 0.2, Seed: 11})
+	fmt.Println("dataset:", d.Stats())
+	fmt.Println()
+
+	rng := flexgraph.NewRNG(11)
+	models := []struct {
+		category string
+		model    *flexgraph.Model
+	}{
+		{"DNFA", flexgraph.NewGCN(d.FeatureDim(), 16, d.NumClasses, rng)},
+		{"DNFA", flexgraph.NewGIN(d.FeatureDim(), 16, d.NumClasses, rng)},
+		{"DNFA", flexgraph.NewGGCN(d.FeatureDim(), 16, d.NumClasses, rng)},
+		{"INFA", flexgraph.NewPinSage(d.FeatureDim(), 16, d.NumClasses,
+			flexgraph.PinSageConfig{NumWalks: 5, Hops: 3, TopK: 5}, rng)},
+		{"INHA", flexgraph.NewMAGNN(d.FeatureDim(), 16, d.NumClasses, d.Metapaths,
+			flexgraph.MAGNNConfig{MaxInstances: 8}, rng)},
+		{"INHA", flexgraph.NewPGNN(d.Graph, d.FeatureDim(), 16, d.NumClasses, 4, 16, rng)},
+		{"INHA", flexgraph.NewJKNet(d.FeatureDim(), 16, d.NumClasses, 2, rng)},
+	}
+
+	fmt.Printf("%-5s %-8s %-10s %-12s %-10s %s\n",
+		"cat", "model", "loss(1)", "loss(10)", "HDG", "neighbor structure")
+	for _, m := range models {
+		tr := flexgraph.NewTrainer(m.model, d.Graph, d.Features, d.Labels, d.TrainMask, 11)
+		var first, last float32
+		for epoch := 1; epoch <= 10; epoch++ {
+			loss, err := tr.Epoch()
+			if err != nil {
+				log.Fatalf("%s: %v", m.model.Name, err)
+			}
+			if epoch == 1 {
+				first = loss
+			}
+			last = loss
+		}
+		structure := "input graph (1-hop, no HDG built)"
+		hdgInfo := "-"
+		if h := tr.HDG(); h != nil {
+			if h.IsFlat() {
+				structure = "flat HDG: single-vertex instances"
+			} else {
+				structure = fmt.Sprintf("hierarchical HDG: %d types, multi-vertex instances", h.NumTypes())
+			}
+			hdgInfo = fmt.Sprintf("%d inst", h.NumInstances())
+		}
+		fmt.Printf("%-5s %-8s %-10.4f %-12.4f %-10s %s\n",
+			m.category, m.model.Name, first, last, hdgInfo, structure)
+	}
+
+	fmt.Println("\nEvery model trained through the same three NAU stages;")
+	fmt.Println("GAS-like abstractions express only the first category (§2.3).")
+}

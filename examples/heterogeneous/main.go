@@ -1,0 +1,56 @@
+// Command heterogeneous trains MAGNN (INHA) on an IMDB-shaped
+// heterogeneous graph of movies, directors and actors. The model's
+// "neighbors" are metapath instances (e.g. Movie-Director-Movie), and
+// aggregation is hierarchical: instance members -> instances -> metapath
+// types -> vertex — the computation pattern that is beyond GAS-like
+// abstractions (§2.3) and that FlexGraph executes with its hybrid strategy:
+// feature fusion at the bottom, scatter-softmax attention in the middle,
+// and a dense reshape+reduce at the schema level (Fig. 10).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	flexgraph "repro"
+)
+
+func main() {
+	d := flexgraph.IMDBLike(flexgraph.DatasetConfig{Scale: 0.3, Seed: 3})
+	fmt.Println("dataset:", d.Stats())
+	fmt.Println("metapaths:")
+	for _, mp := range d.Metapaths {
+		fmt.Printf("  %s (%d vertices per instance)\n", mp.Name, mp.Length())
+	}
+
+	rng := flexgraph.NewRNG(3)
+	model := flexgraph.NewMAGNN(d.FeatureDim(), 32, d.NumClasses, d.Metapaths,
+		flexgraph.MAGNNConfig{MaxInstances: 10}, rng)
+
+	tr := flexgraph.NewTrainer(model, d.Graph, d.Features, d.Labels, d.TrainMask, 3)
+	for epoch := 1; epoch <= 20; epoch++ {
+		loss, err := tr.Epoch()
+		if err != nil {
+			log.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if epoch%4 == 0 || epoch == 1 {
+			fmt.Printf("epoch %2d  loss %.4f\n", epoch, loss)
+		}
+	}
+
+	acc, err := tr.Evaluate(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal accuracy %.3f\n", acc)
+
+	// HDGs are built once (metapath instances never change, §3.2) and the
+	// compact §4.1 storage keeps them close to the input graph's size
+	// (Table 5).
+	h := tr.HDG()
+	fmt.Printf("\nHDG: %d roots, %d metapath instances\n", h.NumRoots(), h.NumInstances())
+	fmt.Printf("HDG memory: %d bytes (%.2f%% of the input graph)\n",
+		h.NumBytes(), 100*float64(h.NumBytes())/float64(d.Graph.NumBytes()))
+	fmt.Println("\nNAU stage breakdown:")
+	fmt.Println(tr.Breakdown.Table4Row(model.Name))
+}

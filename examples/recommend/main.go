@@ -1,0 +1,48 @@
+// Command recommend runs the paper's recommendation-system motivation: a
+// PinSage (INFA) model over a power-law product co-interaction graph. Each
+// item's "neighbors" are the top-k most visited items across random walks
+// (importance-based indirect neighborhood, §2.2), selected by the
+// NeighborSelection stage and aggregated flat — something GAS-like
+// frameworks can only simulate with expensive propagation stages.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	flexgraph "repro"
+)
+
+func main() {
+	// Power-law item graph: a few blockbuster items dominate degrees,
+	// exactly the regime where random-walk neighborhoods beat 1-hop ones.
+	d := flexgraph.FB91Like(flexgraph.DatasetConfig{Scale: 0.2, Seed: 7})
+	fmt.Println("dataset:", d.Stats())
+
+	cfg := flexgraph.DefaultPinSageConfig() // 10 walks × 3 hops, top-10
+	fmt.Printf("neighborhood: %d walks × %d hops, top-%d visited\n",
+		cfg.NumWalks, cfg.Hops, cfg.TopK)
+
+	rng := flexgraph.NewRNG(7)
+	model := flexgraph.NewPinSage(d.FeatureDim(), 32, d.NumClasses, cfg, rng)
+
+	tr := flexgraph.NewTrainer(model, d.Graph, d.Features, d.Labels, d.TrainMask, 7)
+	for epoch := 1; epoch <= 40; epoch++ {
+		loss, err := tr.Epoch()
+		if err != nil {
+			log.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if epoch%8 == 0 || epoch == 1 {
+			fmt.Printf("epoch %2d  loss %.4f\n", epoch, loss)
+		}
+	}
+
+	acc, err := tr.Evaluate(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal accuracy %.3f\n", acc)
+	fmt.Println("\nNAU stage breakdown — note the NeighborSelection share")
+	fmt.Println("(random walks re-run every epoch, unlike GCN's 0%):")
+	fmt.Println(tr.Breakdown.Table4Row(model.Name))
+}

@@ -1,0 +1,283 @@
+// Package flexgraph is the public API of FlexGraph-Go, a from-scratch Go
+// reproduction of "FlexGraph: A Flexible and Efficient Distributed
+// Framework for GNN Training" (EuroSys 2021).
+//
+// The package re-exports the user-facing pieces of the internal
+// implementation:
+//
+//   - datasets: synthetic generators shaped like the paper's Table 1
+//     (Reddit, FB91, Twitter, IMDB);
+//   - the NAU programming abstraction (NeighborSelection / Aggregation /
+//     Update) and the three evaluated models GCN, PinSage and MAGNN, plus
+//     the P-GNN and JK-Net extension models;
+//   - the hybrid execution engine (feature fusion, sparse and dense tensor
+//     paths) with the SA / SA+FA / HA strategy switch;
+//   - single-machine training (Trainer) and the shared-nothing distributed
+//     runtime (TrainDistributed / Simulate) with application-driven
+//     workload balancing and pipeline processing.
+//
+// A minimal training run:
+//
+//	d := flexgraph.RedditLike(flexgraph.DatasetConfig{Scale: 0.1})
+//	rng := flexgraph.NewRNG(1)
+//	model := flexgraph.NewGCN(d.FeatureDim(), 16, d.NumClasses, rng)
+//	tr := flexgraph.NewTrainer(model, d.Graph, d.Features, d.Labels, d.TrainMask, 1)
+//	for epoch := 0; epoch < 50; epoch++ {
+//		loss, err := tr.Epoch()
+//		...
+//	}
+package flexgraph
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/hdg"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/nau"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// Core data types.
+type (
+	// Graph is an immutable directed (optionally heterogeneous) graph.
+	Graph = graph.Graph
+	// GraphBuilder accumulates edges for a Graph.
+	GraphBuilder = graph.Builder
+	// VertexID identifies a vertex.
+	VertexID = graph.VertexID
+	// Metapath is an ordered sequence of vertex types (MAGNN neighbors).
+	Metapath = graph.Metapath
+	// Tensor is a dense row-major float32 tensor.
+	Tensor = tensor.Tensor
+	// RNG is the deterministic random generator used everywhere.
+	RNG = tensor.RNG
+	// Value is an autograd node.
+	Value = nn.Value
+)
+
+// Dataset types.
+type (
+	// Dataset bundles a graph with features, labels and a train mask.
+	Dataset = dataset.Dataset
+	// DatasetConfig scales the synthetic generators.
+	DatasetConfig = dataset.Config
+)
+
+// NAU abstraction types.
+type (
+	// Model is a stack of NAU layers.
+	Model = nau.Model
+	// Layer is one GNN layer in the NAU abstraction.
+	Layer = nau.Layer
+	// LayerContext is passed to a layer's Aggregation stage.
+	LayerContext = nau.Context
+	// NeighborUDF customises neighbor selection (the paper's nbr_udf).
+	NeighborUDF = nau.NeighborUDF
+	// SchemaTree encodes a model's neighbor types.
+	SchemaTree = hdg.SchemaTree
+	// HDG is a set of hierarchical dependency graphs.
+	HDG = hdg.HDG
+	// HDGRecord is one neighbor instance produced by a UDF.
+	HDGRecord = hdg.Record
+	// Trainer runs single-machine whole-graph training.
+	Trainer = nau.Trainer
+	// StageBreakdown accumulates per-stage timings.
+	StageBreakdown = metrics.Breakdown
+)
+
+// Execution engine types.
+type (
+	// Engine executes hierarchical aggregation under a strategy.
+	Engine = engine.Engine
+	// Strategy selects the hybrid-execution level (SA, SA+FA, HA).
+	Strategy = engine.Strategy
+)
+
+// Hybrid execution strategies (the paper's Fig. 14 ablation).
+const (
+	StrategySA   = engine.StrategySA
+	StrategySAFA = engine.StrategySAFA
+	StrategyHA   = engine.StrategyHA
+)
+
+// Distributed runtime types.
+type (
+	// ClusterConfig configures distributed training.
+	ClusterConfig = cluster.Config
+	// ClusterResult reports a distributed run.
+	ClusterResult = cluster.Result
+	// ModelFactory builds identical model replicas per worker.
+	ModelFactory = cluster.ModelFactory
+	// SimConfig configures a simulated multi-machine epoch.
+	SimConfig = cluster.SimConfig
+	// SimResult reports a simulated epoch.
+	SimResult = cluster.SimResult
+	// Partitioning assigns vertices to workers.
+	Partitioning = partition.Partitioning
+	// PinSageConfig holds PinSage's random-walk parameters.
+	PinSageConfig = models.PinSageConfig
+	// MAGNNConfig bounds MAGNN's metapath search.
+	MAGNNConfig = models.MAGNNConfig
+)
+
+// NewRNG returns a deterministic random generator.
+func NewRNG(seed uint64) *RNG { return tensor.NewRNG(seed) }
+
+// NewGraphBuilder returns a builder for a graph with n vertices.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// Dataset generators (Table 1 shapes).
+var (
+	// RedditLike generates the dense Reddit-shaped dataset.
+	RedditLike = dataset.RedditLike
+	// FB91Like generates the power-law LDBC-FB91-shaped dataset.
+	FB91Like = dataset.FB91Like
+	// TwitterLike generates the power-law Twitter-shaped dataset.
+	TwitterLike = dataset.TwitterLike
+	// IMDBLike generates the heterogeneous IMDB-shaped dataset.
+	IMDBLike = dataset.IMDBLike
+	// DatasetByName returns a generator output by Table-1 name.
+	DatasetByName = dataset.ByName
+)
+
+// Model constructors.
+var (
+	// NewGCN builds the 2-layer GCN (DNFA).
+	NewGCN = models.NewGCN
+	// NewPinSage builds the 2-layer PinSage (INFA).
+	NewPinSage = models.NewPinSage
+	// NewMAGNN builds the 2-layer MAGNN (INHA).
+	NewMAGNN = models.NewMAGNN
+	// NewPGNN builds the 2-layer P-GNN extension model.
+	NewPGNN = models.NewPGNN
+	// NewJKNet builds the 2-layer JK-Net extension model.
+	NewJKNet = models.NewJKNet
+	// DefaultPinSageConfig returns the paper's §7 walk parameters.
+	DefaultPinSageConfig = models.DefaultPinSageConfig
+)
+
+// Training entry points.
+var (
+	// NewTrainer wires single-machine whole-graph training.
+	NewTrainer = nau.NewTrainer
+	// NewEngine builds an execution engine with the given strategy.
+	NewEngine = engine.New
+	// TrainDistributed runs data-parallel training over an in-process
+	// loopback cluster.
+	TrainDistributed = cluster.Train
+	// Simulate runs one simulated multi-machine epoch (Fig. 13/15).
+	Simulate = cluster.SimulateEpoch
+	// NewSimulation builds reusable multi-epoch simulation state.
+	NewSimulation = cluster.NewSimulation
+)
+
+// Partitioners (§5/§6).
+var (
+	// HashPartition assigns vertex v to part v mod k.
+	HashPartition = partition.Hash
+	// LabelPropPartition is the PuLP-style partitioner.
+	LabelPropPartition = partition.LabelProp
+	// DefaultADB returns the application-driven balancer with the §6
+	// configuration.
+	DefaultADB = partition.DefaultADB
+)
+
+// Optimizers.
+type (
+	// Optimizer updates parameters from accumulated gradients.
+	Optimizer = nn.Optimizer
+)
+
+// Optimizer constructors, for callers that want to replace a Trainer's
+// default Adam(lr=0.01).
+var (
+	// NewAdam returns an Adam optimizer over params.
+	NewAdam = nn.NewAdam
+	// NewSGD returns a plain SGD optimizer over params.
+	NewSGD = nn.NewSGD
+)
+
+// Additional DNFA model constructors (§2.2 names GIN and G-GCN alongside
+// GCN) and checkpointing (the Fig. 12 fault-tolerance module).
+var (
+	// NewGIN builds the 2-layer Graph Isomorphism Network (DNFA).
+	NewGIN = models.NewGIN
+	// NewGGCN builds the 2-layer gated GCN (DNFA).
+	NewGGCN = models.NewGGCN
+	// SaveCheckpoint writes model parameters to a file atomically.
+	SaveCheckpoint = nn.SaveCheckpoint
+	// LoadCheckpoint restores model parameters from a file.
+	LoadCheckpoint = nn.LoadCheckpoint
+	// LoadDataset reads a serialised dataset (.fgds) from a file.
+	LoadDataset = dataset.Load
+)
+
+// Level-wise aggregation (the paper's Fig. 6 driver).
+type (
+	// LevelUDF is one HDG level's aggregation function.
+	LevelUDF = nau.LevelUDF
+)
+
+// Built-in level UDFs for Context.Aggregate.
+var (
+	// AggSum reduces a level by summation.
+	AggSum = nau.Sum
+	// AggMean reduces a level by averaging.
+	AggMean = nau.Mean
+	// AggMax reduces a level by elementwise max.
+	AggMax = nau.Max
+	// AggMin reduces a level by elementwise min.
+	AggMin = nau.Min
+)
+
+// Reusable neighbor-selection UDFs (the paper's Fig. 5 library).
+var (
+	// OneHopUDF selects every 1-hop out-neighbor (gnn_nbr).
+	OneHopUDF = nau.OneHopUDF
+	// RandomWalkUDF selects the top-k visited vertices over random walks
+	// (pinsage_nbr).
+	RandomWalkUDF = nau.RandomWalkUDF
+	// MetapathUDF selects metapath instances (magnn_nbr).
+	MetapathUDF = nau.MetapathUDF
+	// AnchorSetUDF selects pre-sampled anchor sets (P-GNN).
+	AnchorSetUDF = nau.AnchorSetUDF
+	// HopFrontierUDF selects per-hop BFS frontiers (JK-Net).
+	HopFrontierUDF = nau.HopFrontierUDF
+	// NewSchemaTree builds a schema tree from neighbor type names.
+	NewSchemaTree = hdg.NewSchemaTree
+)
+
+// NN building blocks for custom layers.
+type (
+	// Linear is a fully connected layer.
+	Linear = nn.Linear
+	// CachePolicy controls when NeighborSelection re-runs.
+	CachePolicy = nau.CachePolicy
+)
+
+// HDG cache policies (§3.2's Discussion).
+const (
+	// CachePerEpoch rebuilds HDGs every epoch (PinSage).
+	CachePerEpoch = nau.CachePerEpoch
+	// CacheForever builds HDGs once per training run (MAGNN).
+	CacheForever = nau.CacheForever
+)
+
+// Differentiable operations for custom Update rules.
+var (
+	// NewLinear returns a Xavier-initialised fully connected layer.
+	NewLinear = nn.NewLinear
+	// ConcatValues concatenates values along the feature dimension.
+	ConcatValues = nn.Concat
+	// ReLUValue applies max(x, 0).
+	ReLUValue = nn.ReLU
+	// AddValues adds two values (with bias-row broadcasting).
+	AddValues = nn.Add
+	// MatMulValues multiplies two values.
+	MatMulValues = nn.MatMul
+)

@@ -1,0 +1,114 @@
+package flexgraph
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the documented quickstart flow through
+// the public API only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	d := RedditLike(DatasetConfig{Scale: 0.03, Seed: 1})
+	rng := NewRNG(1)
+	model := NewGCN(d.FeatureDim(), 16, d.NumClasses, rng)
+	tr := NewTrainer(model, d.Graph, d.Features, d.Labels, d.TrainMask, 1)
+	var first, last float32
+	for epoch := 0; epoch < 12; epoch++ {
+		loss, err := tr.Epoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+	acc, err := tr.Evaluate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc <= 1.0/float64(d.NumClasses) {
+		t.Fatalf("accuracy %v at or below chance", acc)
+	}
+}
+
+// TestPublicAPIDistributed exercises the distributed entry point.
+func TestPublicAPIDistributed(t *testing.T) {
+	d := FB91Like(DatasetConfig{Scale: 0.02, Seed: 2})
+	factory := func(rng *RNG) *Model {
+		return NewGCN(d.FeatureDim(), 8, d.NumClasses, rng)
+	}
+	res, err := TrainDistributed(ClusterConfig{
+		NumWorkers: 2, Pipeline: true, Strategy: StrategyHA, Epochs: 3, Seed: 3,
+	}, d, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Losses) != 3 {
+		t.Fatalf("losses = %v", res.Losses)
+	}
+}
+
+// TestPublicAPISimulate exercises the multi-machine simulator.
+func TestPublicAPISimulate(t *testing.T) {
+	d := RedditLike(DatasetConfig{Scale: 0.02, Seed: 4})
+	factory := func(rng *RNG) *Model {
+		return NewPinSage(d.FeatureDim(), 8, d.NumClasses,
+			PinSageConfig{NumWalks: 3, Hops: 2, TopK: 3}, rng)
+	}
+	res, err := Simulate(d, factory, SimConfig{NumWorkers: 4, Pipeline: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpochTime <= 0 || res.Loss <= 0 {
+		t.Fatalf("bad sim result: %+v", res)
+	}
+}
+
+// TestPublicAPICheckpointAndDatasetIO exercises persistence helpers.
+func TestPublicAPICheckpointAndDatasetIO(t *testing.T) {
+	dir := t.TempDir()
+	d := IMDBLike(DatasetConfig{Scale: 0.05, Seed: 6})
+	dsPath := filepath.Join(dir, "d.fgds")
+	if err := d.Save(dsPath); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDataset(dsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Graph.NumEdges() != d.Graph.NumEdges() {
+		t.Fatal("dataset IO mismatch")
+	}
+
+	rng := NewRNG(6)
+	model := NewMAGNN(d.FeatureDim(), 8, d.NumClasses, d.Metapaths, MAGNNConfig{MaxInstances: 4}, rng)
+	ckPath := filepath.Join(dir, "m.fgck")
+	if err := SaveCheckpoint(ckPath, model.Parameters()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadCheckpoint(ckPath, model.Parameters()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicAPIPartitioners exercises the balancing surface.
+func TestPublicAPIPartitioners(t *testing.T) {
+	d := TwitterLike(DatasetConfig{Scale: 0.02, Seed: 7})
+	n := d.Graph.NumVertices()
+	cost := make([]float64, n)
+	for v := 0; v < n; v++ {
+		cost[v] = 1 + float64(d.Graph.OutDegree(VertexID(v)))
+	}
+	hash := HashPartition(n, 4)
+	lp := LabelPropPartition(d.Graph, 4, 3, 1.2, 7)
+	adb := DefaultADB().Rebalance(d.Graph, hash, cost)
+	for _, p := range []*Partitioning{hash, lp, adb} {
+		if len(p.Assign) != n {
+			t.Fatal("partitioning does not cover the graph")
+		}
+	}
+}

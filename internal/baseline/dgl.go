@@ -1,0 +1,206 @@
+package baseline
+
+import (
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/hdg"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// DGL emulates DGL's single-machine execution: GAS/SAGA-NN message passing
+// with kernel fusion (no per-edge message materialisation for 1-hop
+// aggregation) but without FlexGraph's SIMD kernels, and — critically for
+// PinSage — random walks simulated through whole-graph propagation stages
+// because SAGA-NN only reaches 1-hop neighbors per stage (§2.3: "DGL
+// implements PinSage by simulating random walks with several graph
+// propagation stages of SAGA-NN, which is very inefficient").
+//
+// MAGNN is not expressible in SAGA-NN (Table 2's "X").
+type DGL struct{}
+
+// Name returns "DGL".
+func (DGL) Name() string { return "DGL" }
+
+// Supports reports false for MAGNN: hierarchical aggregation over metapath
+// instances is beyond GAS-like abstractions (§2.3).
+func (DGL) Supports(kind ModelKind) bool { return kind != ModelMAGNN }
+
+// Epoch runs one training epoch.
+func (x DGL) Epoch(d *dataset.Dataset, spec Spec) (float32, error) {
+	switch spec.Kind {
+	case ModelGCN:
+		return x.gcn(d, spec)
+	case ModelPinSage:
+		return x.pinsage(d, spec)
+	default:
+		return 0, ErrUnsupported
+	}
+}
+
+func (x DGL) gcn(d *dataset.Dataset, spec Spec) (float32, error) {
+	in, classes := specDims(d)
+	rng := tensor.NewRNG(spec.Seed)
+	net := newTwoLayerNet(in, spec.Hidden, classes, false, rng)
+	adj := engine.FromGraphInEdges(d.Graph)
+
+	h0 := nn.Constant(d.Features)
+	a1 := engine.FusedAggregateScalar(adj, h0, tensor.ReduceSum)
+	h1 := nn.ReLU(net.l1.Forward(nn.Add(h0, a1)))
+	a2 := engine.FusedAggregateScalar(adj, h1, tensor.ReduceSum)
+	logits := net.l2.Forward(nn.Add(h1, a2))
+	return net.step(logits, d.Labels, d.TrainMask), nil
+}
+
+// propagationWalks simulates PinSage's random walks with SAGA-NN
+// whole-graph propagation stages: each of numWalks walk "waves" advances a
+// cursor for every vertex simultaneously, and every hop is one Scatter /
+// ApplyEdge / Gather round that materialises a per-edge tensor over the
+// *entire* edge set — the inefficiency §2.3 describes. Visit counts feed
+// the same top-k selection FlexGraph computes directly on the graph.
+// propagationEdgeDim is the walker-state width materialised on every edge
+// per stage: the Scatter step puts each cursor's state on its out-edges
+// before ApplyEdge scores them.
+const propagationEdgeDim = 8
+
+func propagationWalks(g *graph.Graph, numWalks, hops, topK int, edgeTensors int, rng *tensor.RNG, budget int64) ([]hdg.Record, error) {
+	n := g.NumVertices()
+	m := g.NumEdges()
+	// Each propagation stage materialises edgeTensors per-edge state
+	// tensors; forward only (sampling is not differentiated).
+	need := m * propagationEdgeDim * 4 * int64(edgeTensors)
+	if err := checkBudget(need, budget); err != nil {
+		return nil, err
+	}
+	visitCounts := make([]map[graph.VertexID]int, n)
+	for v := range visitCounts {
+		visitCounts[v] = make(map[graph.VertexID]int, topK*2)
+	}
+	cursor := make([]graph.VertexID, n)
+	for w := 0; w < numWalks; w++ {
+		for v := range cursor {
+			cursor[v] = graph.VertexID(v)
+		}
+		for h := 0; h < hops; h++ {
+			// One SAGA stage: materialise per-edge walker state over the
+			// whole edge set (edgeTensors copies: un-fused frameworks
+			// produce one tensor per dataflow operator).
+			var state []float32
+			for t := 0; t < edgeTensors; t++ {
+				state = make([]float32, m*propagationEdgeDim)
+				for e := int64(0); e < m; e++ {
+					state[e*propagationEdgeDim] = rng.Float32()
+				}
+			}
+			scores := state
+			// Gather: each walk cursor picks the max-score out-edge of its
+			// current vertex.
+			next := make([]graph.VertexID, n)
+			for v := 0; v < n; v++ {
+				cur := cursor[v]
+				adj := g.OutNeighbors(cur)
+				if len(adj) == 0 {
+					next[v] = cur
+					continue
+				}
+				// Edge offsets of cur's out-edges: recompute via the edge
+				// ordering (out-CSR order).
+				base := outEdgeBase(g, cur)
+				best, bestScore := 0, float32(-1)
+				for i := range adj {
+					if s := scores[(base+int64(i))*propagationEdgeDim]; s > bestScore {
+						best, bestScore = i, s
+					}
+				}
+				chosen := adj[best]
+				next[v] = chosen
+				if chosen != graph.VertexID(v) {
+					visitCounts[v][chosen]++
+				}
+			}
+			cursor = next
+		}
+	}
+	var recs []hdg.Record
+	for v := 0; v < n; v++ {
+		top := topKByCount(visitCounts[v], topK)
+		for _, u := range top {
+			recs = append(recs, hdg.Record{Root: graph.VertexID(v), Nei: []graph.VertexID{u}, Type: 0})
+		}
+	}
+	return recs, nil
+}
+
+// outEdgeBase returns the offset of v's first out-edge in the global
+// out-edge ordering (out-edges of vertices < v come first in CSR order).
+func outEdgeBase(g *graph.Graph, v graph.VertexID) int64 {
+	return outBaseCache(g)[v]
+}
+
+var outBases sync.Map // *graph.Graph -> []int64
+
+func outBaseCache(g *graph.Graph) []int64 {
+	if b, ok := outBases.Load(g); ok {
+		return b.([]int64)
+	}
+	b := make([]int64, g.NumVertices()+1)
+	for v := 0; v < g.NumVertices(); v++ {
+		b[v+1] = b[v] + int64(g.OutDegree(graph.VertexID(v)))
+	}
+	outBases.Store(g, b)
+	return b
+}
+
+func topKByCount(counts map[graph.VertexID]int, k int) []graph.VertexID {
+	type vc struct {
+		v graph.VertexID
+		c int
+	}
+	all := make([]vc, 0, len(counts))
+	for v, c := range counts {
+		all = append(all, vc{v, c})
+	}
+	for i := 0; i < len(all) && i < k; i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].c > all[best].c || (all[j].c == all[best].c && all[j].v < all[best].v) {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+	}
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]graph.VertexID, len(all))
+	for i, e := range all {
+		out[i] = e.v
+	}
+	return out
+}
+
+func (x DGL) pinsage(d *dataset.Dataset, spec Spec) (float32, error) {
+	in, classes := specDims(d)
+	rng := tensor.NewRNG(spec.Seed)
+	net := newTwoLayerNet(in, spec.Hidden, classes, true, rng)
+
+	recs, err := propagationWalks(d.Graph, spec.PinSage.NumWalks, spec.PinSage.Hops, spec.PinSage.TopK, 1, rng, spec.MemBudget)
+	if err != nil {
+		return 0, err
+	}
+	h, err := flatRecordsToHDG(d.Graph, recs)
+	if err != nil {
+		return 0, err
+	}
+	adj := engine.FromHDGFlat(h, d.Graph.NumVertices())
+
+	h0 := nn.Constant(d.Features)
+	a1 := engine.FusedAggregateScalar(adj, h0, tensor.ReduceSum)
+	h1 := nn.ReLU(net.l1.Forward(nn.Concat(h0, a1)))
+	a2 := engine.FusedAggregateScalar(adj, h1, tensor.ReduceSum)
+	logits := net.l2.Forward(nn.Concat(h1, a2))
+	return net.step(logits, d.Labels, d.TrainMask), nil
+}

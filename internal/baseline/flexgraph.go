@@ -1,0 +1,86 @@
+package baseline
+
+import (
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/models"
+	"repro/internal/nau"
+	"repro/internal/tensor"
+)
+
+// FlexGraph wraps the NAU trainer as an Executor so the evaluation harness
+// can run it in the same Table-2/Table-3 loops as the baselines. It keeps
+// one trainer per (dataset, model) so HDG caching across epochs behaves
+// exactly as in real training (MAGNN builds its HDGs once; PinSage rebuilds
+// per epoch).
+type FlexGraph struct {
+	// Strategy selects the hybrid-execution level; defaults to HA.
+	Strategy engine.Strategy
+
+	mu       sync.Mutex
+	trainers map[trainerKey]*nau.Trainer
+}
+
+type trainerKey struct {
+	d    *dataset.Dataset
+	kind ModelKind
+}
+
+// NewFlexGraph returns the FlexGraph executor with full hybrid aggregation.
+func NewFlexGraph() *FlexGraph {
+	return &FlexGraph{Strategy: engine.StrategyHA, trainers: make(map[trainerKey]*nau.Trainer)}
+}
+
+// Name returns "FlexGraph".
+func (f *FlexGraph) Name() string { return "FlexGraph" }
+
+// Supports reports true for every model: that is the point of NAU.
+func (f *FlexGraph) Supports(ModelKind) bool { return true }
+
+// Trainer returns (building if needed) the cached trainer for the pair.
+func (f *FlexGraph) Trainer(d *dataset.Dataset, spec Spec) (*nau.Trainer, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := trainerKey{d, spec.Kind}
+	if tr, ok := f.trainers[key]; ok {
+		return tr, nil
+	}
+	rng := tensor.NewRNG(spec.Seed)
+	var m *nau.Model
+	switch spec.Kind {
+	case ModelGCN:
+		m = models.NewGCN(d.FeatureDim(), spec.Hidden, d.NumClasses, rng)
+	case ModelPinSage:
+		m = models.NewPinSage(d.FeatureDim(), spec.Hidden, d.NumClasses, spec.PinSage, rng)
+	case ModelMAGNN:
+		if len(d.Metapaths) == 0 {
+			return nil, ErrUnsupported
+		}
+		m = models.NewMAGNN(d.FeatureDim(), spec.Hidden, d.NumClasses, d.Metapaths, spec.MAGNN, rng)
+	default:
+		return nil, ErrUnsupported
+	}
+	tr := nau.NewTrainer(m, d.Graph, d.Features, d.Labels, d.TrainMask, spec.Seed)
+	tr.Engine = engine.New(f.Strategy)
+	f.trainers[key] = tr
+	return tr, nil
+}
+
+// Epoch runs one FlexGraph training epoch.
+func (f *FlexGraph) Epoch(d *dataset.Dataset, spec Spec) (float32, error) {
+	tr, err := f.Trainer(d, spec)
+	if err != nil {
+		return 0, err
+	}
+	return tr.Epoch()
+}
+
+var (
+	_ Executor = (*FlexGraph)(nil)
+	_ Executor = PyTorch{}
+	_ Executor = DGL{}
+	_ Executor = (*MiniBatch)(nil)
+	_ Executor = (*PreExpand)(nil)
+)

@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// PyTorch emulates a hand-written PyTorch implementation: all aggregation
+// goes through sparse tensor operations that materialise one message per
+// edge (§3.3, Fig. 8), and graph operations (random walks, metapath search)
+// run single-threaded at interpreter speed, since PyTorch has no graph
+// engine.
+type PyTorch struct{}
+
+// Name returns "PyTorch".
+func (PyTorch) Name() string { return "PyTorch" }
+
+// Supports reports true for all three models: PyTorch can express
+// everything, it is just slow or OOMs (Table 2).
+func (PyTorch) Supports(ModelKind) bool { return true }
+
+// Epoch runs one training epoch.
+func (p PyTorch) Epoch(d *dataset.Dataset, spec Spec) (float32, error) {
+	switch spec.Kind {
+	case ModelGCN:
+		return p.gcn(d, spec)
+	case ModelPinSage:
+		return p.pinsage(d, spec)
+	case ModelMAGNN:
+		return p.magnn(d, spec)
+	default:
+		return 0, ErrUnsupported
+	}
+}
+
+func (p PyTorch) gcn(d *dataset.Dataset, spec Spec) (float32, error) {
+	in, classes := specDims(d)
+	rng := tensor.NewRNG(spec.Seed)
+	net := newTwoLayerNet(in, spec.Hidden, classes, false, rng)
+	// "Its implementation in PyTorch is based on sparse tensor operations
+	// (i.e., sparse-dense matrix multiplication)" (§7.1): encode the
+	// in-edge adjacency as CSR and aggregate with SpMM.
+	a := adjacencyCSR(d.Graph)
+	at := a.Transpose()
+
+	h0 := nn.Constant(d.Features)
+	a1 := nn.SpMM(a, at, h0)
+	h1 := nn.ReLU(net.l1.Forward(nn.Add(h0, a1)))
+	a2 := nn.SpMM(a, at, h1)
+	logits := net.l2.Forward(nn.Add(h1, a2))
+	return net.step(logits, d.Labels, d.TrainMask), nil
+}
+
+func (p PyTorch) pinsage(d *dataset.Dataset, spec Spec) (float32, error) {
+	in, classes := specDims(d)
+	rng := tensor.NewRNG(spec.Seed)
+	net := newTwoLayerNet(in, spec.Hidden, classes, true, rng)
+
+	// Random walks simulated with full-edge tensor operations per step —
+	// PyTorch has no graph engine, so each hop is a whole-edge-set tensor
+	// pass, the >95% of PyTorch PinSage time the paper measures (§7.1).
+	recs, err := propagationWalks(d.Graph, spec.PinSage.NumWalks, spec.PinSage.Hops, spec.PinSage.TopK, 3, rng, spec.MemBudget)
+	if err != nil {
+		return 0, err
+	}
+	h, err := flatRecordsToHDG(d.Graph, recs)
+	if err != nil {
+		return 0, err
+	}
+	adj := engine.FromHDGFlat(h, d.Graph.NumVertices())
+	need := adj.NumEdges() * int64(in+spec.Hidden) * 4 * 2
+	if err := checkBudget(need, spec.MemBudget); err != nil {
+		return 0, err
+	}
+
+	h0 := nn.Constant(d.Features)
+	a1 := engine.ScatterAggregate(adj, h0, tensor.ReduceSum)
+	h1 := nn.ReLU(net.l1.Forward(nn.Concat(h0, a1)))
+	a2 := engine.ScatterAggregate(adj, h1, tensor.ReduceSum)
+	logits := net.l2.Forward(nn.Concat(h1, a2))
+	return net.step(logits, d.Labels, d.TrainMask), nil
+}
+
+func (p PyTorch) magnn(d *dataset.Dataset, spec Spec) (float32, error) {
+	in, classes := specDims(d)
+	if len(d.Metapaths) == 0 {
+		return 0, ErrUnsupported
+	}
+	rng := tensor.NewRNG(spec.Seed)
+	net := newTwoLayerNet(in, spec.Hidden, classes, false, rng)
+
+	// Single-threaded metapath search.
+	recs := sequentialMetapathRecords(d.Graph, d.Metapaths, spec.MAGNN.MaxInstances)
+	// PyTorch "explicitly generates large intermediate tensors to store
+	// features of vertices in each metapath instance" (§7.1): leaves × dim
+	// per layer, forward and backward. This is the Table-2 OOM driver.
+	var leaves int64
+	for _, r := range recs {
+		leaves += int64(len(r.Nei))
+	}
+	need := leaves * int64(in+spec.Hidden) * 4 * 2
+	if err := checkBudget(need, spec.MemBudget); err != nil {
+		return 0, err
+	}
+
+	schemaRecs, hdgErr := buildMAGNNHDG(d, recs)
+	if hdgErr != nil {
+		return 0, hdgErr
+	}
+	bottom := engine.FromHDGBottom(schemaRecs, d.Graph.NumVertices())
+	inter := schemaRecs.InstanceSlots()
+	nSlots := schemaRecs.NumRoots() * schemaRecs.NumTypes()
+	rootIdx := make([]int32, nSlots)
+	for i := range rootIdx {
+		rootIdx[i] = int32(i / schemaRecs.NumTypes())
+	}
+
+	// Same model math as the NAU MAGNN (Fig. 7): mean within instances,
+	// softmax attention across instances of a type, mean across types —
+	// but executed entirely with sparse tensor operations.
+	attn1 := nn.Param(tensor.RandN(rng, 0.1, in, 1))
+	attn2 := nn.Param(tensor.RandN(rng, 0.1, spec.Hidden, 1))
+	opt := nn.NewAdam(append(nn.CollectParams(net.l1, net.l2), attn1, attn2), 0.01)
+
+	forward := func(feats *nn.Value, lin *nn.Linear, attn *nn.Value, act bool) *nn.Value {
+		instFeats := engine.ScatterAggregate(bottom, feats, tensor.ReduceMean)
+		scores := nn.Tanh(nn.MatMul(instFeats, attn))
+		att := nn.ScatterSoftmax(scores, inter, nSlots)
+		slots := nn.ScatterAdd(nn.MulBroadcast(att, instFeats), inter, nSlots)
+		nbr := nn.ScatterMean(slots, rootIdx, schemaRecs.NumRoots())
+		out := lin.Forward(nbr)
+		if act {
+			out = nn.ReLU(out)
+		}
+		return out
+	}
+	h0 := nn.Constant(d.Features)
+	h1 := forward(h0, net.l1, attn1, true)
+	logits := forward(h1, net.l2, attn2, false)
+	loss := nn.CrossEntropy(logits, d.Labels, d.TrainMask)
+	opt.ZeroGrad()
+	loss.Backward()
+	opt.Step()
+	return loss.Data.At(0, 0), nil
+}

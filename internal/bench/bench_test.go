@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/engine"
+)
+
+// tiny returns harness options small enough for unit tests.
+func tiny() Options { return Options{Scale: 0.05, Epochs: 1, Seed: 1} }
+
+func TestTable1ShapesAndFormat(t *testing.T) {
+	rows := Table1(tiny())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Name] = true
+		if r.Vertices <= 0 || r.Edges <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	for _, want := range []string{"reddit", "fb91", "twitter", "imdb"} {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+	if !strings.Contains(FormatTable1(rows), "reddit") {
+		t.Fatal("format missing dataset name")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table sweep")
+	}
+	rows := Table2(tiny())
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		flex := r.Cells["FlexGraph"]
+		if flex.Err != nil {
+			t.Fatalf("FlexGraph must run %s/%s: %v", r.Model, r.Dataset, flex.Err)
+		}
+		if r.Model == baseline.ModelMAGNN {
+			// The paper's "X" cells: GAS-like systems cannot express MAGNN.
+			for _, sys := range []string{"DGL", "DistDGL", "Euler"} {
+				if !errors.Is(r.Cells[sys].Err, baseline.ErrUnsupported) {
+					t.Fatalf("%s must report X for MAGNN, got %v", sys, r.Cells[sys].Err)
+				}
+			}
+		}
+		// Timing *shapes* (who is faster by what factor) only emerge above
+		// unit-test scale, where per-epoch work dominates fixed overheads;
+		// they are measured by cmd/flexbench and recorded in
+		// EXPERIMENTS.md. Here we assert the structural shape only: every
+		// cell either runs, reports X, or reports OOM.
+		for _, sys := range Table2Systems {
+			c := r.Cells[sys]
+			if c.Err == nil && c.Time <= 0 {
+				t.Fatalf("%s/%s/%s: zero time with no error", r.Model, r.Dataset, sys)
+			}
+		}
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "X") {
+		t.Fatal("formatted table must contain X cells")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	rows := Table5(tiny())
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// PinSage HDGs must be much smaller than MAGNN's on every dataset.
+	ratios := map[string]map[string]float64{}
+	for _, r := range rows {
+		if ratios[r.Dataset] == nil {
+			ratios[r.Dataset] = map[string]float64{}
+		}
+		ratios[r.Dataset][string(r.Model)] = r.Ratio()
+	}
+	for ds, m := range ratios {
+		if m["PinSage"] >= m["MAGNN"] {
+			t.Fatalf("%s: PinSage ratio %.3f not below MAGNN %.3f", ds, m["PinSage"], m["MAGNN"])
+		}
+		if m["PinSage"] > 1 {
+			t.Fatalf("%s: PinSage HDGs should be a fraction of the graph, got %.3f", ds, m["PinSage"])
+		}
+	}
+	if !strings.Contains(FormatTable5(rows), "%") {
+		t.Fatal("format missing percentages")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows := Table4(tiny())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	selGCN, _, _ := rows[0].Fractions()
+	if selGCN != 0 {
+		t.Fatalf("GCN selection fraction = %v, want 0", selGCN)
+	}
+	selPS, _, _ := rows[1].Fractions()
+	if selPS <= 0 {
+		t.Fatal("PinSage selection fraction must be positive")
+	}
+	if !strings.Contains(FormatTable4(rows), "Nbr.Selection") {
+		t.Fatal("format missing header")
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ablation sweep")
+	}
+	points := Fig14(tiny())
+	if len(points) != 18 { // 2 datasets × 3 models × 3 strategies
+		t.Fatalf("points = %d", len(points))
+	}
+	// Per (dataset, model): SA must be the slowest strategy.
+	for i := 0; i+2 < len(points); i += 3 {
+		sa, safa, ha := points[i], points[i+1], points[i+2]
+		if sa.Strategy != engine.StrategySA || ha.Strategy != engine.StrategyHA {
+			t.Fatal("strategy ordering wrong")
+		}
+		if sa.AggTime < safa.AggTime && sa.AggTime < ha.AggTime {
+			t.Fatalf("%s/%s: SA (%v) faster than both SA+FA (%v) and HA (%v)",
+				sa.Dataset, sa.Model, sa.AggTime, safa.AggTime, ha.AggTime)
+		}
+	}
+}
+
+func TestMemBudgetOrdering(t *testing.T) {
+	o := tiny()
+	reddit := o.dataset("reddit")
+	imdb := o.dataset("imdb")
+	// Budgets are per-dataset multiples of the SA footprint; IMDB gets the
+	// most headroom (paper: nothing OOMs there).
+	bReddit := float64(memBudget(reddit, 16)) / float64(reddit.Graph.NumEdges())
+	bIMDB := float64(memBudget(imdb, 16)) / float64(imdb.Graph.NumEdges())
+	if bIMDB <= bReddit {
+		t.Fatalf("IMDB headroom/edge %v must exceed reddit %v", bIMDB, bReddit)
+	}
+}
+
+func TestCellLabels(t *testing.T) {
+	if got := (Cell{Err: baseline.ErrUnsupported}).Label(); got != "X" {
+		t.Fatalf("unsupported label = %q", got)
+	}
+	if got := (Cell{Err: baseline.ErrOOM}).Label(); got != "OOM" {
+		t.Fatalf("OOM label = %q", got)
+	}
+	if got := (Cell{Err: errors.New("boom")}).Label(); got != "ERR" {
+		t.Fatalf("error label = %q", got)
+	}
+	if got := (Cell{}).Label(); !strings.HasSuffix(got, "s") {
+		t.Fatalf("time label = %q", got)
+	}
+}

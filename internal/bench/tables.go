@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/nau"
+	"repro/internal/tensor"
+)
+
+// ---------------------------------------------------------------------------
+// Table 2 — single-machine runtime per epoch, 3 models × datasets × systems.
+
+// Table2Row is one (model, dataset) row across the five systems.
+type Table2Row struct {
+	Model   baseline.ModelKind
+	Dataset string
+	Cells   map[string]Cell // keyed by executor name
+}
+
+// Table2Systems lists the executor columns in paper order.
+var Table2Systems = []string{"PyTorch", "DGL", "DistDGL", "Euler", "FlexGraph"}
+
+func table2Executors() map[string]baseline.Executor {
+	return map[string]baseline.Executor{
+		"PyTorch":   baseline.PyTorch{},
+		"DGL":       baseline.DGL{},
+		"DistDGL":   baseline.NewDistDGL(),
+		"Euler":     baseline.NewEuler(),
+		"FlexGraph": baseline.NewFlexGraph(),
+	}
+}
+
+// table2Workloads lists the (model, dataset) rows of Table 2.
+func table2Workloads() []struct {
+	kind baseline.ModelKind
+	data string
+} {
+	return []struct {
+		kind baseline.ModelKind
+		data string
+	}{
+		{baseline.ModelGCN, "reddit"},
+		{baseline.ModelGCN, "fb91"},
+		{baseline.ModelGCN, "twitter"},
+		{baseline.ModelPinSage, "reddit"},
+		{baseline.ModelPinSage, "fb91"},
+		{baseline.ModelPinSage, "twitter"},
+		{baseline.ModelMAGNN, "imdb"},
+		{baseline.ModelMAGNN, "reddit"},
+		{baseline.ModelMAGNN, "fb91"},
+		{baseline.ModelMAGNN, "twitter"},
+	}
+}
+
+// Table2 reproduces the paper's Table 2.
+func Table2(o Options) []Table2Row {
+	execs := table2Executors()
+	datasets := map[string]*dataset.Dataset{}
+	var rows []Table2Row
+	for _, wl := range table2Workloads() {
+		d, ok := datasets[wl.data]
+		if !ok {
+			d = o.dataset(wl.data)
+			datasets[wl.data] = d
+		}
+		spec := o.spec(wl.kind)
+		spec.MemBudget = memBudget(d, spec.Hidden)
+		row := Table2Row{Model: wl.kind, Dataset: wl.data, Cells: map[string]Cell{}}
+		for _, name := range Table2Systems {
+			row.Cells[name] = o.timeEpochs(execs[name], d, spec)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTable2 renders Table 2 in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: runtime per epoch on a single machine\n")
+	fmt.Fprintf(&b, "  %-8s %-8s", "Model", "Dataset")
+	for _, s := range Table2Systems {
+		fmt.Fprintf(&b, " %10s", s)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-8s %-8s", r.Model, r.Dataset)
+		for _, s := range Table2Systems {
+			fmt.Fprintf(&b, " %10s", r.Cells[s].Label())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — Pre+DGL comparison (PinSage and MAGNN).
+
+// Table3Row compares DGL, Pre+DGL and FlexGraph on one workload.
+type Table3Row struct {
+	Model   baseline.ModelKind
+	Dataset string
+	DGL     Cell
+	PreDGL  Cell
+	Flex    Cell
+}
+
+// Table3 reproduces the paper's Table 3. Pre+DGL's pre-computation runs in
+// the warm-up epoch and is excluded from the timing, per §7.2.
+func Table3(o Options) []Table3Row {
+	dgl := baseline.DGL{}
+	pre := baseline.NewPreExpand()
+	flex := baseline.NewFlexGraph()
+	var rows []Table3Row
+	for _, wl := range []struct {
+		kind baseline.ModelKind
+		data string
+	}{
+		{baseline.ModelPinSage, "reddit"},
+		{baseline.ModelPinSage, "fb91"},
+		{baseline.ModelPinSage, "twitter"},
+		{baseline.ModelMAGNN, "reddit"},
+		{baseline.ModelMAGNN, "fb91"},
+		{baseline.ModelMAGNN, "twitter"},
+	} {
+		d := o.dataset(wl.data)
+		spec := o.spec(wl.kind)
+		rows = append(rows, Table3Row{
+			Model:   wl.kind,
+			Dataset: wl.data,
+			DGL:     o.timeEpochs(dgl, d, spec),
+			PreDGL:  o.timeEpochs(pre, d, spec),
+			Flex:    o.timeEpochs(flex, d, spec),
+		})
+	}
+	return rows
+}
+
+// FormatTable3 renders Table 3.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3: pre-computed expanded graphs (Pre+DGL) vs FlexGraph\n")
+	fmt.Fprintf(&b, "  %-8s %-8s %10s %10s %10s\n", "Model", "Dataset", "DGL", "Pre+DGL", "FlexGraph")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-8s %-8s %10s %10s %10s\n", r.Model, r.Dataset, r.DGL.Label(), r.PreDGL.Label(), r.Flex.Label())
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — NAU stage breakdown on Twitter.
+
+// Table4Row is one model's stage breakdown.
+type Table4Row struct {
+	Model                          baseline.ModelKind
+	Selection, Aggregation, Update time.Duration
+}
+
+// Fractions returns each stage's share of the NAU total.
+func (r Table4Row) Fractions() (sel, agg, upd float64) {
+	total := float64(r.Selection + r.Aggregation + r.Update)
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return float64(r.Selection) / total, float64(r.Aggregation) / total, float64(r.Update) / total
+}
+
+// Table4 reproduces the paper's Table 4: the per-stage time of the three
+// models on the Twitter-shaped dataset, single machine.
+func Table4(o Options) []Table4Row {
+	d := o.dataset("twitter")
+	fg := baseline.NewFlexGraph()
+	var rows []Table4Row
+	for _, kind := range []baseline.ModelKind{baseline.ModelGCN, baseline.ModelPinSage, baseline.ModelMAGNN} {
+		spec := o.spec(kind)
+		tr, err := fg.Trainer(d, spec)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < o.Epochs; i++ {
+			if _, err := tr.Epoch(); err != nil {
+				panic(err)
+			}
+		}
+		rows = append(rows, Table4Row{
+			Model:       kind,
+			Selection:   tr.Breakdown.Get(metrics.StageNeighborSelection),
+			Aggregation: tr.Breakdown.Get(metrics.StageAggregation),
+			Update:      tr.Breakdown.Get(metrics.StageUpdate),
+		})
+	}
+	return rows
+}
+
+// FormatTable4 renders Table 4.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	b.WriteString("Table 4: breakdown of the 3 NAU stages on twitter\n")
+	fmt.Fprintf(&b, "  %-8s %22s %22s %22s\n", "Model", "Nbr.Selection", "Aggregation", "Update")
+	for _, r := range rows {
+		s, a, u := r.Fractions()
+		fmt.Fprintf(&b, "  %-8s %14.3fs (%4.1f%%) %14.3fs (%4.1f%%) %14.3fs (%4.1f%%)\n",
+			r.Model, r.Selection.Seconds(), 100*s, r.Aggregation.Seconds(), 100*a, r.Update.Seconds(), 100*u)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 5 — HDG memory footprint relative to the input graph.
+
+// Table5Row is the footprint ratio for one model on one dataset.
+type Table5Row struct {
+	Model    baseline.ModelKind
+	Dataset  string
+	HDGBytes int64
+	Graph    int64
+}
+
+// Ratio returns HDG bytes over input-graph bytes.
+func (r Table5Row) Ratio() float64 { return float64(r.HDGBytes) / float64(r.Graph) }
+
+// Table5 reproduces the paper's Table 5: memory footprint of the HDGs for
+// PinSage and MAGNN on the three large datasets. (GCN builds no HDGs.)
+func Table5(o Options) []Table5Row {
+	var rows []Table5Row
+	for _, kind := range []baseline.ModelKind{baseline.ModelPinSage, baseline.ModelMAGNN} {
+		for _, name := range []string{"reddit", "fb91", "twitter"} {
+			d := o.dataset(name)
+			spec := o.spec(kind)
+			fg := baseline.NewFlexGraph()
+			tr, err := fg.Trainer(d, spec)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := tr.Forward(false); err != nil {
+				panic(err)
+			}
+			rows = append(rows, Table5Row{
+				Model:    kind,
+				Dataset:  name,
+				HDGBytes: tr.HDG().NumBytes(),
+				Graph:    d.Graph.NumBytes(),
+			})
+		}
+	}
+	return rows
+}
+
+// FormatTable5 renders Table 5.
+func FormatTable5(rows []Table5Row) string {
+	var b strings.Builder
+	b.WriteString("Table 5: memory footprint of HDGs w.r.t. input graphs\n")
+	fmt.Fprintf(&b, "  %-8s %-8s %12s %12s %8s\n", "Model", "Dataset", "HDG bytes", "graph bytes", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-8s %-8s %12d %12d %7.2f%%\n", r.Model, r.Dataset, r.HDGBytes, r.Graph, 100*r.Ratio())
+	}
+	return b.String()
+}
+
+// flexTrainer builds a standalone FlexGraph trainer for a model kind.
+func flexTrainer(d *dataset.Dataset, spec baseline.Spec) (*nau.Trainer, error) {
+	return baseline.NewFlexGraph().Trainer(d, spec)
+}
+
+// factoryFor builds a cluster.ModelFactory for a model kind.
+func factoryFor(d *dataset.Dataset, spec baseline.Spec) func(rng *tensor.RNG) *nau.Model {
+	return func(rng *tensor.RNG) *nau.Model {
+		switch spec.Kind {
+		case baseline.ModelGCN:
+			return models.NewGCN(d.FeatureDim(), spec.Hidden, d.NumClasses, rng)
+		case baseline.ModelPinSage:
+			return models.NewPinSage(d.FeatureDim(), spec.Hidden, d.NumClasses, spec.PinSage, rng)
+		case baseline.ModelMAGNN:
+			return models.NewMAGNN(d.FeatureDim(), spec.Hidden, d.NumClasses, d.Metapaths, spec.MAGNN, rng)
+		default:
+			panic("bench: unknown model kind")
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/hdg"
+	"repro/internal/metrics"
+	"repro/internal/nau"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/rpc"
+	"repro/internal/tensor"
+)
+
+// Config controls a distributed training run.
+type Config struct {
+	// NumWorkers is the number of shared-nothing workers (the paper's k).
+	NumWorkers int
+	// Pipeline enables partial aggregation + compute/communication overlap
+	// (§5); when false, raw feature rows are exchanged in one batched
+	// message per peer and aggregation waits for all of them.
+	Pipeline bool
+	// Strategy selects the hybrid execution level (default HA).
+	Strategy engine.Strategy
+	// Partitioning assigns vertices to workers; nil selects Hash.
+	Partitioning *partition.Partitioning
+	// Epochs is the number of training epochs.
+	Epochs int
+	// Seed drives model init and neighbor selection.
+	Seed uint64
+}
+
+// ModelFactory builds a fresh model replica; it is called once per worker
+// with identically seeded RNGs so replicas start out equal.
+type ModelFactory func(rng *tensor.RNG) *nau.Model
+
+// Result reports a distributed training run.
+type Result struct {
+	// Losses holds the global training loss per epoch.
+	Losses []float32
+	// EpochTimes holds wall-clock time per epoch.
+	EpochTimes []time.Duration
+	// PerWorker holds each worker's stage breakdown.
+	PerWorker []*metrics.Breakdown
+	// Merged aggregates all workers' breakdowns.
+	Merged *metrics.Breakdown
+}
+
+// Train runs cfg.Epochs of data-parallel training over an in-process
+// loopback cluster and returns the per-epoch global losses.
+func Train(cfg Config, d *dataset.Dataset, factory ModelFactory) (*Result, error) {
+	if cfg.NumWorkers <= 0 {
+		return nil, fmt.Errorf("cluster: NumWorkers must be positive")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	netw := rpc.NewLoopbackNetwork(cfg.NumWorkers)
+	defer netw.Close()
+
+	workers := make([]*worker, cfg.NumWorkers)
+	for rank := 0; rank < cfg.NumWorkers; rank++ {
+		w, err := newWorker(rank, cfg, d, factory, netw.Transport(rank))
+		if err != nil {
+			return nil, err
+		}
+		workers[rank] = w
+	}
+
+	res := &Result{
+		PerWorker: make([]*metrics.Breakdown, cfg.NumWorkers),
+		Merged:    &metrics.Breakdown{},
+	}
+	for rank, w := range workers {
+		res.PerWorker[rank] = w.breakdown
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		start := time.Now()
+		losses := make([]float32, cfg.NumWorkers)
+		errs := make([]error, cfg.NumWorkers)
+		var wg sync.WaitGroup
+		for rank, w := range workers {
+			wg.Add(1)
+			go func(rank int, w *worker) {
+				defer wg.Done()
+				losses[rank], errs[rank] = w.runEpoch()
+			}(rank, w)
+		}
+		wg.Wait()
+		for rank, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("cluster: worker %d epoch %d: %w", rank, epoch, err)
+			}
+		}
+		res.Losses = append(res.Losses, losses[0])
+		res.EpochTimes = append(res.EpochTimes, time.Since(start))
+	}
+	for _, w := range workers {
+		res.Merged.Merge(w.breakdown)
+	}
+	return res, nil
+}
+
+// RunWorker runs one worker of a multi-process cluster over an external
+// transport (e.g. rpc.TCPTransport). Every process must call it with the
+// same Config, dataset and factory; the transport's rank selects the
+// partition. It returns the per-epoch global losses and this worker's
+// stage breakdown.
+func RunWorker(cfg Config, d *dataset.Dataset, factory ModelFactory, tr rpc.Transport) ([]float32, *metrics.Breakdown, error) {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	w, err := newWorker(tr.Rank(), cfg, d, factory, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	losses := make([]float32, 0, cfg.Epochs)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		loss, err := w.runEpoch()
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: worker %d epoch %d: %w", tr.Rank(), epoch, err)
+		}
+		losses = append(losses, loss)
+	}
+	return losses, w.breakdown, nil
+}
+
+// newWorker builds one worker over the given transport. Exposed via
+// RunWorker for multi-process TCP deployments.
+func newWorker(rank int, cfg Config, d *dataset.Dataset, factory ModelFactory, tr rpc.Transport) (*worker, error) {
+	p := cfg.Partitioning
+	if p == nil {
+		p = partition.Hash(d.Graph.NumVertices(), cfg.NumWorkers)
+	}
+	if p.K != cfg.NumWorkers {
+		return nil, fmt.Errorf("cluster: partitioning has %d parts, want %d", p.K, cfg.NumWorkers)
+	}
+	var roots []graph.VertexID
+	for v, part := range p.Assign {
+		if int(part) == rank {
+			roots = append(roots, graph.VertexID(v))
+		}
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	model := factory(rng)
+	params := model.Parameters()
+	w := &worker{
+		rank:      rank,
+		k:         cfg.NumWorkers,
+		cfg:       cfg,
+		tr:        tr,
+		g:         d.Graph,
+		owner:     p.Assign,
+		roots:     roots,
+		rootIdx:   localRows(roots),
+		localRank: buildLocalRank(d.Graph.NumVertices(), roots),
+		features:  d.Features,
+		labels:    d.Labels,
+		trainMask: d.TrainMask,
+		model:     model,
+		params:    params,
+		opt:       nn.NewAdam(params, 0.01),
+		eng:       engine.New(cfg.Strategy),
+		rng:       tensor.NewRNG(cfg.Seed + 1000),
+		breakdown: &metrics.Breakdown{},
+		plans:     make(map[*engine.Adjacency]*workerPlan),
+	}
+	w.ctx = &nau.Context{
+		Graph:          d.Graph,
+		Engine:         w.eng,
+		NumFeatureRows: d.Graph.NumVertices(),
+		Bottom:         w,
+	}
+	w.ctx.SetGraphAdjacency(localGraphAdjacency(d.Graph, roots))
+	return w, nil
+}
+
+// localGraphAdjacency builds the 1-hop in-edge adjacency whose destination
+// rows are the worker's roots (in root order) and whose sources are global
+// vertex IDs.
+func localGraphAdjacency(g *graph.Graph, roots []graph.VertexID) *engine.Adjacency {
+	ptr := make([]int64, len(roots)+1)
+	var idx []int32
+	for i, v := range roots {
+		idx = append(idx, g.InNeighbors(v)...)
+		ptr[i+1] = int64(len(idx))
+	}
+	return &engine.Adjacency{NumDst: len(roots), NumSrc: g.NumVertices(), DstPtr: ptr, SrcIdx: idx}
+}
+
+// ensureHDG runs NeighborSelection for the worker's local roots. Per-root
+// RNG seeds are derived from (seed, root) so results are independent of the
+// partitioning and worker count.
+func (w *worker) ensureHDG() error {
+	if !w.model.NeedsHDG() {
+		return nil
+	}
+	if w.localHDG != nil && w.model.Cache == nau.CacheForever {
+		return nil
+	}
+	layer := w.model.Layers[0]
+	schema, udf := layer.Schema(), layer.NeighborUDF()
+	epochSeed := w.cfg.Seed ^ (uint64(w.epoch+1) * 0x9e3779b97f4a7c15)
+	start := time.Now()
+	records := selectSeeded(w.g, schema, udf, w.roots, epochSeed)
+	h, err := hdg.Build(schema, w.roots, records)
+	w.breakdown.Add(metrics.StageNeighborSelection, time.Since(start))
+	if err != nil {
+		return err
+	}
+	w.localHDG = h
+	w.ctx.InvalidateHDG(h)
+	// HDGs changed: the old adjacency plans are stale.
+	w.plans = make(map[*engine.Adjacency]*workerPlan)
+	return nil
+}
+
+// selectSeeded runs the neighbor UDF for every root in parallel with a
+// per-root RNG seed derived from (epochSeed, root), making the selection
+// independent of partitioning and worker count.
+func selectSeeded(g *graph.Graph, schema *hdg.SchemaTree, udf nau.NeighborUDF, roots []graph.VertexID, epochSeed uint64) []hdg.Record {
+	perRoot := make([][]hdg.Record, len(roots))
+	tensor.ParallelFor(len(roots), func(s, e int) {
+		for i := s; i < e; i++ {
+			rng := tensor.NewRNG(epochSeed ^ (uint64(roots[i])+1)*0xbf58476d1ce4e5b9)
+			perRoot[i] = udf(g, schema, roots[i], rng)
+		}
+	})
+	var records []hdg.Record
+	for _, rs := range perRoot {
+		records = append(records, rs...)
+	}
+	return records
+}
+
+// runEpoch executes one synchronous training epoch: neighbor selection,
+// layer-by-layer forward with distributed aggregation, local loss,
+// backward, gradient all-reduce, and an optimizer step identical on every
+// worker.
+func (w *worker) runEpoch() (loss float32, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: %v", r)
+		}
+	}()
+	w.aggCalls = 0
+	if err := w.ensureHDG(); err != nil {
+		return 0, err
+	}
+	w.ctx.RNG = w.rng
+	w.ctx.Train = true
+
+	// Every tensor stays local-width: the Aggregation stage receives this
+	// worker's rows, and remote contributions arrive as messages through
+	// the BottomAggregator hook.
+	hLocal := nn.Gather(nn.Constant(w.features), w.rootIdx)
+	for _, layer := range w.model.Layers {
+		var nbr *nn.Value
+		syncBefore := w.breakdown.Get(metrics.StageSync)
+		aggBefore := w.breakdown.Get(metrics.StageAggregation)
+		start := time.Now()
+		nbr = layer.Aggregation(w.ctx, hLocal)
+		elapsed := time.Since(start)
+		// AggregateBottom already recorded its sync and fused-compute
+		// slices; attribute the remainder (intermediate/schema levels) to
+		// Aggregation without double counting.
+		inner := (w.breakdown.Get(metrics.StageSync) - syncBefore) +
+			(w.breakdown.Get(metrics.StageAggregation) - aggBefore)
+		if rest := elapsed - inner; rest > 0 {
+			w.breakdown.Add(metrics.StageAggregation, rest)
+		}
+		w.breakdown.Time(metrics.StageUpdate, func() {
+			hLocal = layer.Update(w.ctx, hLocal, nbr)
+		})
+	}
+
+	labels := make([]int32, len(w.roots))
+	mask := make([]bool, len(w.roots))
+	m := 0
+	for i, v := range w.roots {
+		labels[i] = w.labels[v]
+		mask[i] = w.trainMask[v]
+		if mask[i] {
+			m++
+		}
+	}
+	lossV := nn.CrossEntropy(hLocal, labels, mask)
+	w.breakdown.Time(metrics.StageBackward, func() {
+		w.opt.ZeroGrad()
+		lossV.Backward()
+	})
+	globalLoss, err := w.allReduce(lossV.Data.At(0, 0), m)
+	if err != nil {
+		return 0, err
+	}
+	w.breakdown.Time(metrics.StageBackward, func() {
+		w.opt.Step()
+	})
+	w.epoch++
+	return globalLoss, nil
+}
+
+// allReduce exchanges parameter gradients with all peers, rescaling each
+// worker's contribution by its masked-vertex count so the summed gradient
+// matches single-machine whole-graph training. Returns the global loss.
+func (w *worker) allReduce(localLoss float32, localCount int) (float32, error) {
+	syncStart := time.Now()
+	defer func() { w.breakdown.Add(metrics.StageSync, time.Since(syncStart)) }()
+
+	// Flatten local grads scaled by the local count.
+	total := 0
+	for _, p := range w.params {
+		total += p.Data.Len()
+	}
+	payload := make([]float32, total+2)
+	off := 0
+	for _, p := range w.params {
+		if p.Grad != nil {
+			for _, g := range p.Grad.Data() {
+				payload[off] = g * float32(localCount)
+				off++
+			}
+		} else {
+			off += p.Data.Len()
+		}
+	}
+	payload[total] = localLoss * float32(localCount)
+	payload[total+1] = float32(localCount)
+
+	msg := &rpc.Message{
+		Kind:  rpc.KindGrads,
+		From:  int32(w.rank),
+		Epoch: w.epoch,
+		Data:  payload,
+		Dim:   1,
+	}
+	for q := 0; q < w.k; q++ {
+		if q == w.rank {
+			continue
+		}
+		w.countMsg(msg)
+		if err := w.tr.Send(q, msg); err != nil {
+			return 0, err
+		}
+	}
+	msgs, err := w.recvMatch(rpc.KindGrads, w.epoch, 0, w.k-1)
+	if err != nil {
+		return 0, err
+	}
+	sum := append([]float32(nil), payload...)
+	for _, m := range msgs {
+		if len(m.Data) != len(sum) {
+			return 0, fmt.Errorf("cluster: gradient payload size mismatch")
+		}
+		tensor.AddUnrolled(sum, m.Data)
+	}
+	totalCount := sum[total+1]
+	if totalCount == 0 {
+		totalCount = 1
+	}
+	inv := 1 / totalCount
+	off = 0
+	for _, p := range w.params {
+		if p.Grad == nil {
+			p.Grad = tensor.New(p.Data.Shape()...)
+		}
+		gd := p.Grad.Data()
+		for i := range gd {
+			gd[i] = sum[off] * inv
+			off++
+		}
+	}
+	return sum[total] * inv, nil
+}

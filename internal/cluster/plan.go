@@ -1,0 +1,156 @@
+// Package cluster implements FlexGraph-Go's shared-nothing distributed
+// runtime (§5): vertices are divided into disjoint partitions, each worker
+// builds the HDGs of its own roots, and feature messages are exchanged at
+// layer boundaries. The two §5 optimisations are implemented faithfully:
+//
+//   - partial aggregation: a worker combines all of its local contributions
+//     to a remote destination into a single assembled message carrying the
+//     partial sum, instead of shipping raw per-vertex features;
+//   - pipeline processing: local partial aggregation overlaps with
+//     communication, and the received partials are merged at the end.
+//
+// The package offers a concurrent runtime over rpc transports (goroutines
+// per worker; loopback or TCP), plus a simulation mode used by the
+// Figure-13/15 benchmarks that executes each worker's compute phases
+// serially with full machine parallelism — as if each worker were one of
+// the paper's 96-core machines — and models communication from real byte
+// counts with a configurable bandwidth/latency (the paper's 3.25 GB/s NIC).
+package cluster
+
+import (
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/tensor"
+)
+
+// Task is one unit of remote partial aggregation: the sender owns Leaves
+// and must combine their feature rows for the requester's destination row
+// Dst (an index into the requester's bottom-level output).
+type Task struct {
+	Dst    int32
+	Leaves []int32
+}
+
+// CommPlan captures, for one bottom-level adjacency under a partitioning,
+// everything the workers must exchange.
+type CommPlan struct {
+	K int
+
+	// LocalAdj[w] is worker w's bottom-level adjacency restricted to
+	// leaves owned by w (same destination rows as w's full adjacency).
+	LocalAdj []*engine.Adjacency
+
+	// FullAdj[w] is worker w's complete bottom-level adjacency (all
+	// leaves), used by the unoptimised raw path after remote rows arrive.
+	FullAdj []*engine.Adjacency
+
+	// Tasks[q][p] lists the partial-aggregation tasks worker q computes
+	// for requester p (q != p).
+	Tasks [][][]Task
+
+	// RawVerts[q][p] lists the vertices owned by q whose raw feature rows
+	// requester p needs (the union of Tasks[q][p] leaves) — the
+	// unoptimised synchronisation path.
+	RawVerts [][][]graph.VertexID
+
+	// TotalDeg[w][d] is the full in-degree of w's destination row d
+	// (local + remote contributions), the denominator for mean.
+	TotalDeg [][]int32
+}
+
+// BuildPlan derives the communication plan from each worker's bottom-level
+// adjacency. adjs[w] must have destination rows local to worker w and
+// source indices that are global vertex IDs; owner[v] gives the owning
+// worker of vertex v.
+func BuildPlan(adjs []*engine.Adjacency, owner []int32, k int) *CommPlan {
+	plan := &CommPlan{
+		K:        k,
+		LocalAdj: make([]*engine.Adjacency, k),
+		FullAdj:  adjs,
+		Tasks:    make([][][]Task, k),
+		RawVerts: make([][][]graph.VertexID, k),
+		TotalDeg: make([][]int32, k),
+	}
+	for q := 0; q < k; q++ {
+		plan.Tasks[q] = make([][]Task, k)
+		plan.RawVerts[q] = make([][]graph.VertexID, k)
+	}
+	for w := 0; w < k; w++ {
+		adj := adjs[w]
+		plan.TotalDeg[w] = adj.Degrees()
+		localPtr := make([]int64, adj.NumDst+1)
+		var localIdx []int32
+		rawSeen := make([]map[graph.VertexID]bool, k)
+		for q := range rawSeen {
+			rawSeen[q] = make(map[graph.VertexID]bool)
+		}
+		remote := make([][]int32, k) // per-owner leaves of the current dst
+		for d := 0; d < adj.NumDst; d++ {
+			for q := range remote {
+				remote[q] = remote[q][:0]
+			}
+			for p := adj.DstPtr[d]; p < adj.DstPtr[d+1]; p++ {
+				src := adj.Src(p)
+				o := owner[src]
+				if int(o) == w {
+					localIdx = append(localIdx, src)
+				} else {
+					remote[o] = append(remote[o], src)
+				}
+			}
+			localPtr[d+1] = int64(len(localIdx))
+			for q := 0; q < k; q++ {
+				if len(remote[q]) == 0 {
+					continue
+				}
+				plan.Tasks[q][w] = append(plan.Tasks[q][w], Task{
+					Dst:    int32(d),
+					Leaves: append([]int32(nil), remote[q]...),
+				})
+				for _, v := range remote[q] {
+					if !rawSeen[q][v] {
+						rawSeen[q][v] = true
+						plan.RawVerts[q][w] = append(plan.RawVerts[q][w], v)
+					}
+				}
+			}
+		}
+		plan.LocalAdj[w] = &engine.Adjacency{
+			NumDst: adj.NumDst,
+			NumSrc: adj.NumSrc,
+			DstPtr: localPtr,
+			SrcIdx: localIdx,
+		}
+	}
+	return plan
+}
+
+// PartialAggregate computes, for each task, the sum of the sender's local
+// feature rows — the "single assembled message that includes the sum" of
+// §5. Returns per-task destination rows, contribution counts, and the
+// row-major sums.
+func PartialAggregate(tasks []Task, feats *tensor.Tensor) (dsts []int32, counts []int32, data []float32) {
+	dim := feats.Cols()
+	dsts = make([]int32, len(tasks))
+	counts = make([]int32, len(tasks))
+	data = make([]float32, len(tasks)*dim)
+	fd := feats.Data()
+	tensor.ParallelFor(len(tasks), func(s, e int) {
+		for i := s; i < e; i++ {
+			t := tasks[i]
+			dsts[i] = t.Dst
+			counts[i] = int32(len(t.Leaves))
+			row := data[i*dim : (i+1)*dim]
+			for _, v := range t.Leaves {
+				tensor.AddUnrolled(row, fd[int(v)*dim:int(v+1)*dim])
+			}
+		}
+	})
+	return dsts, counts, data
+}
+
+// OwnerOf builds the vertex-owner array from a partitioning.
+func OwnerOf(p *partition.Partitioning) []int32 {
+	return p.Assign
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/models"
+	"repro/internal/nau"
+	"repro/internal/tensor"
+)
+
+func TestSimulateEpochGCN(t *testing.T) {
+	d := dataset.RedditLike(dataset.Config{Scale: 0.05, Seed: 1})
+	res, err := SimulateEpoch(d, gcnFactory(d), SimConfig{NumWorkers: 4, Pipeline: true, Strategy: engine.StrategyHA, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpochTime <= 0 || res.AggTime <= 0 {
+		t.Fatalf("times must be positive: %+v", res)
+	}
+	if res.Loss <= 0 {
+		t.Fatalf("loss = %v", res.Loss)
+	}
+	if len(res.PerWorker) != 4 {
+		t.Fatalf("per-worker entries = %d", len(res.PerWorker))
+	}
+	var bytes int64
+	for _, w := range res.PerWorker {
+		bytes += w.BytesIn
+	}
+	if bytes == 0 {
+		t.Fatal("no modeled traffic")
+	}
+}
+
+func TestSimLossMatchesConcurrentCluster(t *testing.T) {
+	// The simulator must compute the same forward math as the concurrent
+	// runtime: first-epoch global loss must agree.
+	d := dataset.RedditLike(dataset.Config{Scale: 0.02, Seed: 3})
+	conc, err := Train(Config{NumWorkers: 3, Pipeline: true, Strategy: engine.StrategyHA, Epochs: 1, Seed: 4}, d, gcnFactory(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := SimulateEpoch(d, gcnFactory(d), SimConfig{NumWorkers: 3, Pipeline: true, Strategy: engine.StrategyHA, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := sim.Loss - conc.Losses[0]
+	if diff > 1e-3 || diff < -1e-3 {
+		t.Fatalf("sim loss %v != concurrent loss %v", sim.Loss, conc.Losses[0])
+	}
+}
+
+func TestSimPipelineVsRawSameLoss(t *testing.T) {
+	d := dataset.RedditLike(dataset.Config{Scale: 0.02, Seed: 5})
+	a, err := SimulateEpoch(d, gcnFactory(d), SimConfig{NumWorkers: 4, Pipeline: true, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateEpoch(d, gcnFactory(d), SimConfig{NumWorkers: 4, Pipeline: false, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := a.Loss - b.Loss
+	if diff > 1e-4 || diff < -1e-4 {
+		t.Fatalf("pipeline %v vs raw %v", a.Loss, b.Loss)
+	}
+}
+
+func TestSimMAGNNRuns(t *testing.T) {
+	d := dataset.IMDBLike(dataset.Config{Scale: 0.04, Seed: 7})
+	factory := func(rng *tensor.RNG) *nau.Model {
+		return models.NewMAGNN(d.FeatureDim(), 8, d.NumClasses, d.Metapaths, models.MAGNNConfig{MaxInstances: 4}, rng)
+	}
+	sim, err := NewSimulation(d, factory, SimConfig{NumWorkers: 4, Pipeline: true, Strategy: engine.StrategyHA, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sim.Epoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PerWorker[0].Selection == 0 {
+		t.Fatal("MAGNN must spend selection time in epoch 1")
+	}
+	r2, err := sim.Epoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.PerWorker[0].Selection != 0 {
+		t.Fatal("MAGNN HDGs are cached forever; epoch 2 must skip selection")
+	}
+}
+
+func TestSimMultiEpochPinSageReselects(t *testing.T) {
+	d := dataset.RedditLike(dataset.Config{Scale: 0.02, Seed: 9})
+	cfg := models.PinSageConfig{NumWalks: 3, Hops: 2, TopK: 3}
+	factory := func(rng *tensor.RNG) *nau.Model {
+		return models.NewPinSage(d.FeatureDim(), 8, d.NumClasses, cfg, rng)
+	}
+	sim, err := NewSimulation(d, factory, SimConfig{NumWorkers: 2, Pipeline: true, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sim.Epoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim.Epoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PerWorker[0].Selection == 0 || r2.PerWorker[0].Selection == 0 {
+		t.Fatal("PinSage must re-run selection each epoch")
+	}
+}
+
+func TestSimBadConfig(t *testing.T) {
+	d := dataset.RedditLike(dataset.Config{Scale: 0.02, Seed: 11})
+	if _, err := SimulateEpoch(d, gcnFactory(d), SimConfig{NumWorkers: 0}); err == nil {
+		t.Fatal("zero workers must error")
+	}
+}

@@ -1,0 +1,519 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/hdg"
+	"repro/internal/metrics"
+	"repro/internal/nau"
+	"repro/internal/nn"
+	"repro/internal/rpc"
+	"repro/internal/tensor"
+)
+
+// worker is one shared-nothing training participant. It owns a disjoint set
+// of root vertices, holds a full model replica, and exchanges feature
+// messages with its peers at layer boundaries. All feature tensors a worker
+// holds are local-width ([#local roots, dim]); remote contributions arrive
+// as messages, so memory and backward traffic scale with the partition
+// size, as on the paper's shared-nothing machines.
+type worker struct {
+	rank int
+	k    int
+	cfg  Config
+	tr   rpc.Transport
+
+	g         *graph.Graph
+	owner     []int32
+	roots     []graph.VertexID
+	rootIdx   []int32 // roots as int32 row indices (global IDs)
+	localRank []int32 // global vertex -> local root rank, -1 if not owned
+	features  *tensor.Tensor
+	labels    []int32
+	trainMask []bool
+
+	model  *nau.Model
+	params []*nn.Value
+	opt    nn.Optimizer
+	eng    *engine.Engine
+	rng    *tensor.RNG
+
+	ctx       *nau.Context
+	localHDG  *hdg.HDG
+	breakdown *metrics.Breakdown
+
+	epoch    int32
+	aggCalls int32 // aggregation call counter within the epoch (layer tag)
+
+	// plans caches the exchanged communication plan per adjacency.
+	plans map[*engine.Adjacency]*workerPlan
+
+	// pending buffers out-of-phase messages during demultiplexing.
+	pending []*rpc.Message
+}
+
+// workerPlan is this worker's view of the communication plan for one
+// bottom-level adjacency (destination rows local to this worker, source
+// IDs global).
+type workerPlan struct {
+	// local is the adjacency restricted to leaves this worker owns, with
+	// sources remapped to local root ranks (compact universe).
+	local *engine.Adjacency
+	// remote is the complement, with sources remapped into the compact
+	// remoteUniverse (raw path).
+	remote *engine.Adjacency
+	// remoteUniverse lists the distinct remote vertices this worker's
+	// destinations depend on; remoteIndex inverts it.
+	remoteUniverse []graph.VertexID
+	remoteIndex    map[graph.VertexID]int32
+	// tasksForPeer[p] are the partial sums this worker computes for p,
+	// with leaves remapped to THIS worker's local root ranks.
+	tasksForPeer [][]Task
+	// rawForPeer[p] are the global vertex IDs whose raw feature rows this
+	// worker ships to p in the unoptimised path — one row per dependency
+	// reference, as a naive implementation collects them (the §5 baseline).
+	// The pipelined fallback path ships the deduplicated set instead.
+	rawForPeer      [][]graph.VertexID
+	dedupRawForPeer [][]graph.VertexID
+	// totalDeg is the full per-destination in-degree (mean denominator).
+	totalDeg []int32
+	degInv   []float32
+	// usePartials records whether THIS worker wants to receive
+	// per-destination partial sums (they ship fewer rows than its
+	// deduplicated raw features — §5's partial aggregation "when
+	// possible"); when false, peers ship raw rows and the overlap is kept.
+	// The preference is announced to peers during plan exchange.
+	usePartials bool
+	// sendPartialsTo[p] is peer p's announced receive preference.
+	sendPartialsTo []bool
+}
+
+// localRows returns the global feature row indices of the given roots.
+func localRows(roots []graph.VertexID) []int32 {
+	out := make([]int32, len(roots))
+	for i, v := range roots {
+		out[i] = v
+	}
+	return out
+}
+
+// buildLocalRank inverts a root list into a global-size rank array.
+func buildLocalRank(n int, roots []graph.VertexID) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for i, v := range roots {
+		out[v] = int32(i)
+	}
+	return out
+}
+
+// splitAdjacency splits adj (global source IDs) into
+//   - a local part whose sources are remapped by localRank (compact),
+//   - a remote part whose sources are remapped into a compact universe of
+//     distinct remote vertices (returned), and
+//   - per-peer task lists (leaves kept as global IDs; the receiving owner
+//     remaps them into its own local ranks).
+func splitAdjacency(adj *engine.Adjacency, owner, localRank []int32, self, k int) (local, remote *engine.Adjacency, remoteUniverse []graph.VertexID, peerTasks [][]Task) {
+	localPtr := make([]int64, adj.NumDst+1)
+	remotePtr := make([]int64, adj.NumDst+1)
+	var localIdx, remoteIdx []int32
+	remoteIndex := make(map[graph.VertexID]int32)
+	peerTasks = make([][]Task, k)
+	buf := make([][]int32, k)
+	for d := 0; d < adj.NumDst; d++ {
+		for q := range buf {
+			buf[q] = buf[q][:0]
+		}
+		for p := adj.DstPtr[d]; p < adj.DstPtr[d+1]; p++ {
+			src := adj.Src(p)
+			if int(owner[src]) == self {
+				localIdx = append(localIdx, localRank[src])
+			} else {
+				pos, ok := remoteIndex[src]
+				if !ok {
+					pos = int32(len(remoteUniverse))
+					remoteIndex[src] = pos
+					remoteUniverse = append(remoteUniverse, src)
+				}
+				remoteIdx = append(remoteIdx, pos)
+				buf[owner[src]] = append(buf[owner[src]], src)
+			}
+		}
+		localPtr[d+1] = int64(len(localIdx))
+		remotePtr[d+1] = int64(len(remoteIdx))
+		for q := 0; q < k; q++ {
+			if len(buf[q]) > 0 {
+				peerTasks[q] = append(peerTasks[q], Task{Dst: int32(d), Leaves: append([]int32(nil), buf[q]...)})
+			}
+		}
+	}
+	nLocal := 0
+	for _, r := range localRank {
+		if r >= 0 {
+			nLocal++
+		}
+	}
+	local = &engine.Adjacency{NumDst: adj.NumDst, NumSrc: nLocal, DstPtr: localPtr, SrcIdx: localIdx}
+	remote = &engine.Adjacency{NumDst: adj.NumDst, NumSrc: len(remoteUniverse), DstPtr: remotePtr, SrcIdx: remoteIdx}
+	return local, remote, remoteUniverse, peerTasks
+}
+
+// encodeTasks flattens tasks into the IDs section of a message:
+// [dst, nLeaves, leaves...]* .
+func encodeTasks(tasks []Task) []int32 {
+	var out []int32
+	for _, t := range tasks {
+		out = append(out, t.Dst, int32(len(t.Leaves)))
+		out = append(out, t.Leaves...)
+	}
+	return out
+}
+
+func decodeTasks(ids []int32) ([]Task, error) {
+	var out []Task
+	for i := 0; i < len(ids); {
+		if i+2 > len(ids) {
+			return nil, fmt.Errorf("cluster: truncated task encoding")
+		}
+		dst, n := ids[i], int(ids[i+1])
+		i += 2
+		if i+n > len(ids) {
+			return nil, fmt.Errorf("cluster: truncated task leaves")
+		}
+		out = append(out, Task{Dst: dst, Leaves: append([]int32(nil), ids[i:i+n]...)})
+		i += n
+	}
+	return out, nil
+}
+
+// ensurePlan exchanges the communication plan for adj with all peers
+// (cached per adjacency; PinSage re-exchanges each epoch because its HDGs
+// change).
+func (w *worker) ensurePlan(adj *engine.Adjacency) (*workerPlan, error) {
+	if p, ok := w.plans[adj]; ok {
+		return p, nil
+	}
+	local, remote, remoteUniverse, peerTasks := splitAdjacency(adj, w.owner, w.localRank, w.rank, w.k)
+	plan := &workerPlan{
+		local:           local,
+		remote:          remote,
+		remoteUniverse:  remoteUniverse,
+		remoteIndex:     make(map[graph.VertexID]int32, len(remoteUniverse)),
+		tasksForPeer:    make([][]Task, w.k),
+		rawForPeer:      make([][]graph.VertexID, w.k),
+		dedupRawForPeer: make([][]graph.VertexID, w.k),
+		totalDeg:        adj.Degrees(),
+		sendPartialsTo:  make([]bool, w.k),
+	}
+	for i, v := range remoteUniverse {
+		plan.remoteIndex[v] = int32(i)
+	}
+	// My receive preference: partial sums iff they ship fewer rows than my
+	// deduplicated raw dependency set.
+	var incomingTasks int64
+	for q := 0; q < w.k; q++ {
+		incomingTasks += int64(len(peerTasks[q]))
+	}
+	plan.usePartials = incomingTasks <= int64(len(remoteUniverse))
+	// Tell each peer which partial sums it must compute for me (leaf IDs
+	// are global; the peer remaps them into its own local ranks), along
+	// with my receive preference (Dim=1 for partials, 0 for raw rows).
+	prefDim := int32(0)
+	if plan.usePartials {
+		prefDim = 1
+	}
+	for q := 0; q < w.k; q++ {
+		if q == w.rank {
+			continue
+		}
+		msg := &rpc.Message{
+			Kind:  rpc.KindBarrier, // plan exchange piggybacks on barrier kind + layer tag
+			From:  int32(w.rank),
+			Epoch: w.epoch,
+			Layer: w.aggCalls,
+			IDs:   encodeTasks(peerTasks[q]),
+			Dim:   prefDim,
+		}
+		w.countMsg(msg)
+		if err := w.tr.Send(q, msg); err != nil {
+			return nil, err
+		}
+	}
+	// Receive the tasks each peer wants from me; remap leaves to my local
+	// ranks and derive the raw-mode vertex lists.
+	msgs, err := w.recvMatch(rpc.KindBarrier, w.epoch, w.aggCalls, w.k-1)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range msgs {
+		tasks, err := decodeTasks(m.IDs)
+		if err != nil {
+			return nil, err
+		}
+		seen := make(map[graph.VertexID]bool)
+		for ti := range tasks {
+			for li, v := range tasks[ti].Leaves {
+				// The naive baseline ships every reference; the dedup list
+				// backs the pipelined raw fallback.
+				plan.rawForPeer[m.From] = append(plan.rawForPeer[m.From], v)
+				if !seen[v] {
+					seen[v] = true
+					plan.dedupRawForPeer[m.From] = append(plan.dedupRawForPeer[m.From], v)
+				}
+				if w.localRank[v] < 0 {
+					return nil, fmt.Errorf("cluster: peer %d requested vertex %d not owned by worker %d", m.From, v, w.rank)
+				}
+				tasks[ti].Leaves[li] = w.localRank[v]
+			}
+		}
+		sort.Slice(plan.dedupRawForPeer[m.From], func(i, j int) bool {
+			return plan.dedupRawForPeer[m.From][i] < plan.dedupRawForPeer[m.From][j]
+		})
+		plan.tasksForPeer[m.From] = tasks
+		plan.sendPartialsTo[m.From] = m.Dim == 1
+	}
+	w.plans[adj] = plan
+	return plan, nil
+}
+
+// recvMatch collects exactly n messages with the given kind/epoch/layer,
+// buffering any out-of-phase messages for later phases.
+func (w *worker) recvMatch(kind rpc.MsgKind, epoch, layer int32, n int) ([]*rpc.Message, error) {
+	var out []*rpc.Message
+	rest := w.pending[:0]
+	for _, m := range w.pending {
+		if len(out) < n && m.Kind == kind && m.Epoch == epoch && m.Layer == layer {
+			out = append(out, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	w.pending = rest
+	for len(out) < n {
+		m, err := w.tr.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if m.Kind == kind && m.Epoch == epoch && m.Layer == layer {
+			out = append(out, m)
+		} else {
+			w.pending = append(w.pending, m)
+		}
+	}
+	return out, nil
+}
+
+func (w *worker) countMsg(m *rpc.Message) {
+	w.breakdown.MessagesSent.Add(1)
+	w.breakdown.BytesSent.Add(m.NumBytes())
+}
+
+// AggregateBottom implements nau.BottomAggregator: the distributed bottom
+// aggregation with either partial aggregation + pipeline overlap (§5) or
+// the unoptimised raw-feature synchronisation. feats holds the previous
+// layer's local-width features ([#local roots, dim]).
+func (w *worker) AggregateBottom(adj *engine.Adjacency, feats *nn.Value, op tensor.ReduceOp) *nn.Value {
+	if op != tensor.ReduceSum && op != tensor.ReduceMean {
+		panic(fmt.Sprintf("cluster: distributed aggregation supports sum and mean, got %v", op))
+	}
+	plan, err := w.ensurePlan(adj)
+	if err != nil {
+		panic(fmt.Errorf("cluster: plan exchange failed: %w", err))
+	}
+	layer := w.aggCalls
+	w.aggCalls++
+
+	var out *nn.Value
+	if w.cfg.Pipeline {
+		out = w.aggregatePipelined(plan, feats, layer)
+	} else {
+		out = w.aggregateRaw(plan, feats, layer)
+	}
+	if op == tensor.ReduceMean {
+		out = scaleRowsByInvDeg(out, plan)
+	}
+	return out
+}
+
+// aggregatePipelined overlaps communication with local partial aggregation
+// (§5). It ships per-destination partial sums when that is cheaper than raw
+// rows, and deduplicated raw rows otherwise ("when possible") — either way
+// the local aggregation proceeds while messages are in flight.
+func (w *worker) aggregatePipelined(plan *workerPlan, feats *nn.Value, layer int32) *nn.Value {
+	dim := feats.Data.Cols()
+	kind := rpc.KindPartials
+	if !plan.usePartials {
+		kind = rpc.KindFeatures
+	}
+	// Kick off sends in the background; each peer receives the payload
+	// kind it announced at plan exchange.
+	sendErr := make(chan error, 1)
+	go func() {
+		var firstErr error
+		for q := 0; q < w.k; q++ {
+			if q == w.rank {
+				continue
+			}
+			var msg *rpc.Message
+			if plan.sendPartialsTo[q] {
+				dsts, counts, data := PartialAggregate(plan.tasksForPeer[q], feats.Data)
+				msg = &rpc.Message{
+					Kind:   rpc.KindPartials,
+					From:   int32(w.rank),
+					Epoch:  w.epoch,
+					Layer:  layer,
+					IDs:    dsts,
+					Counts: counts,
+					Data:   data,
+					Dim:    int32(dim),
+				}
+			} else {
+				msg = w.rawMessage(plan, feats, q, layer, true)
+			}
+			w.countMsg(msg)
+			if err := w.tr.Send(q, msg); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		sendErr <- firstErr
+	}()
+
+	// Overlap: local partial aggregation while messages are in flight.
+	start := time.Now()
+	localSum := engine.FusedAggregate(plan.local, feats, tensor.ReduceSum)
+	w.breakdown.Add(metrics.StageAggregation, time.Since(start))
+
+	// Receive from every peer and fold the results in.
+	syncStart := time.Now()
+	msgs, err := w.recvMatch(kind, w.epoch, layer, w.k-1)
+	if err != nil {
+		panic(fmt.Errorf("cluster: partial sync failed: %w", err))
+	}
+	if err := <-sendErr; err != nil {
+		panic(fmt.Errorf("cluster: partial send failed: %w", err))
+	}
+	var remote *tensor.Tensor
+	if plan.usePartials {
+		remote = tensor.New(plan.local.NumDst, dim)
+		rd := remote.Data()
+		for _, m := range msgs {
+			for i, dst := range m.IDs {
+				tensor.AddUnrolled(rd[int(dst)*dim:int(dst+1)*dim], m.Data[i*dim:(i+1)*dim])
+			}
+		}
+	} else {
+		remote = w.remoteSumFromRaw(plan, msgs, dim)
+	}
+	w.breakdown.Add(metrics.StageSync, time.Since(syncStart))
+	return nn.Add(localSum, nn.Constant(remote))
+}
+
+// rawMessage assembles the batched raw-feature message for peer q. dedup
+// selects the reference list (naive baseline) or the deduplicated set (the
+// pipelined fallback).
+func (w *worker) rawMessage(plan *workerPlan, feats *nn.Value, q int, layer int32, dedup bool) *rpc.Message {
+	dim := feats.Data.Cols()
+	verts := plan.rawForPeer[q]
+	if dedup {
+		verts = plan.dedupRawForPeer[q]
+	}
+	ids := make([]int32, len(verts))
+	data := make([]float32, len(verts)*dim)
+	fd := feats.Data.Data()
+	for i, v := range verts {
+		ids[i] = v
+		r := int(w.localRank[v])
+		copy(data[i*dim:(i+1)*dim], fd[r*dim:(r+1)*dim])
+	}
+	return &rpc.Message{
+		Kind:  rpc.KindFeatures,
+		From:  int32(w.rank),
+		Epoch: w.epoch,
+		Layer: layer,
+		IDs:   ids,
+		Data:  data,
+		Dim:   int32(dim),
+	}
+}
+
+// remoteSumFromRaw fills the compact remote buffer from raw-feature
+// messages and reduces it over the remote adjacency.
+func (w *worker) remoteSumFromRaw(plan *workerPlan, msgs []*rpc.Message, dim int) *tensor.Tensor {
+	buffer := tensor.New(max(len(plan.remoteUniverse), 1), dim)
+	bd := buffer.Data()
+	for _, m := range msgs {
+		for i, v := range m.IDs {
+			pos, ok := plan.remoteIndex[v]
+			if !ok {
+				continue
+			}
+			copy(bd[int(pos)*dim:int(pos+1)*dim], m.Data[i*dim:(i+1)*dim])
+		}
+	}
+	remoteAdj := plan.remote
+	if len(plan.remoteUniverse) == 0 {
+		remoteAdj = &engine.Adjacency{NumDst: plan.remote.NumDst, NumSrc: 1, DstPtr: plan.remote.DstPtr, SrcIdx: plan.remote.SrcIdx}
+	}
+	return engine.FusedAggregate(remoteAdj, nn.Constant(buffer), tensor.ReduceSum).Data
+}
+
+// aggregateRaw ships raw feature rows (one batched message per peer), waits
+// for all of them, and then aggregates everything locally — FlexGraph
+// without pipeline processing.
+func (w *worker) aggregateRaw(plan *workerPlan, feats *nn.Value, layer int32) *nn.Value {
+	dim := feats.Data.Cols()
+	syncStart := time.Now()
+	for q := 0; q < w.k; q++ {
+		if q == w.rank {
+			continue
+		}
+		msg := w.rawMessage(plan, feats, q, layer, false)
+		w.countMsg(msg)
+		if err := w.tr.Send(q, msg); err != nil {
+			panic(fmt.Errorf("cluster: raw send failed: %w", err))
+		}
+	}
+	msgs, err := w.recvMatch(rpc.KindFeatures, w.epoch, layer, w.k-1)
+	if err != nil {
+		panic(fmt.Errorf("cluster: raw sync failed: %w", err))
+	}
+	w.breakdown.Add(metrics.StageSync, time.Since(syncStart))
+
+	start := time.Now()
+	localSum := engine.FusedAggregate(plan.local, feats, tensor.ReduceSum)
+	remoteSum := w.remoteSumFromRaw(plan, msgs, dim)
+	w.breakdown.Add(metrics.StageAggregation, time.Since(start))
+	return nn.Add(localSum, nn.Constant(remoteSum))
+}
+
+// scaleRowsByInvDeg divides each destination row by its full in-degree
+// (local + remote contributions), completing a distributed mean.
+func scaleRowsByInvDeg(v *nn.Value, plan *workerPlan) *nn.Value {
+	dim := v.Data.Cols()
+	if plan.degInv == nil {
+		plan.degInv = make([]float32, len(plan.totalDeg))
+		for d, deg := range plan.totalDeg {
+			if deg > 0 {
+				plan.degInv[d] = 1 / float32(deg)
+			}
+		}
+	}
+	scale := tensor.New(v.Data.Rows(), dim)
+	sd := scale.Data()
+	for d := 0; d < v.Data.Rows(); d++ {
+		inv := plan.degInv[d]
+		row := sd[d*dim : (d+1)*dim]
+		for j := range row {
+			row[j] = inv
+		}
+	}
+	return nn.Mul(v, nn.Constant(scale))
+}
+
+var _ nau.BottomAggregator = (*worker)(nil)

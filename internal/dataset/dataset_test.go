@@ -1,0 +1,216 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRedditLikeShape(t *testing.T) {
+	d := RedditLike(Config{Scale: 0.1})
+	if d.Graph.NumVertices() < 100 {
+		t.Fatalf("too few vertices: %d", d.Graph.NumVertices())
+	}
+	if len(d.Labels) != d.Graph.NumVertices() || len(d.TrainMask) != d.Graph.NumVertices() {
+		t.Fatal("labels/mask length mismatch")
+	}
+	if d.Features.Rows() != d.Graph.NumVertices() {
+		t.Fatal("features rows mismatch")
+	}
+	avgDeg := float64(d.Graph.NumEdges()) / float64(d.Graph.NumVertices())
+	if avgDeg < 20 {
+		t.Fatalf("reddit-like must be dense, avg degree = %v", avgDeg)
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	d := FB91Like(Config{Scale: 0.25})
+	g := d.Graph
+	degs := make([]int, g.NumVertices())
+	for v := range degs {
+		degs[v] = g.OutDegree(graph.VertexID(v))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	// Power-law: the top 1% of vertices should hold a disproportionate
+	// share of edges; uniform graphs would give them ~1%.
+	top := len(degs) / 100
+	if top == 0 {
+		top = 1
+	}
+	var topSum, total int
+	for i, d := range degs {
+		total += d
+		if i < top {
+			topSum += d
+		}
+	}
+	share := float64(topSum) / float64(total)
+	if share < 0.05 {
+		t.Fatalf("top-1%% degree share %.3f too small for power law", share)
+	}
+	if degs[0] < 10*degs[len(degs)/2] {
+		t.Fatalf("max degree %d not ≫ median %d", degs[0], degs[len(degs)/2])
+	}
+}
+
+func TestTwitterLargerThanFB91(t *testing.T) {
+	cfg := Config{Scale: 0.1}
+	fb, tw := FB91Like(cfg), TwitterLike(cfg)
+	if tw.Graph.NumVertices() <= fb.Graph.NumVertices() {
+		t.Fatal("twitter-like should have more vertices than fb91-like")
+	}
+}
+
+func TestIMDBHeterogeneous(t *testing.T) {
+	d := IMDBLike(Config{Scale: 0.1})
+	g := d.Graph
+	if g.NumTypes() != 3 {
+		t.Fatalf("NumTypes = %d", g.NumTypes())
+	}
+	counts := make([]int, 3)
+	for v := 0; v < g.NumVertices(); v++ {
+		counts[g.Type(graph.VertexID(v))]++
+	}
+	for ty, c := range counts {
+		if c == 0 {
+			t.Fatalf("no vertices of type %d", ty)
+		}
+	}
+	if len(d.Metapaths) != 6 {
+		t.Fatalf("want 6 metapaths (§7), got %d", len(d.Metapaths))
+	}
+	for _, mp := range d.Metapaths {
+		if mp.Length() != 3 {
+			t.Fatalf("metapath %s has %d vertices, want 3", mp.Name, mp.Length())
+		}
+	}
+	// Edges only connect movies to directors/actors (bipartite-ish).
+	for v := 0; v < g.NumVertices(); v++ {
+		tv := g.Type(graph.VertexID(v))
+		for _, u := range g.OutNeighbors(graph.VertexID(v)) {
+			tu := g.Type(u)
+			if (tv == TypeMovie) == (tu == TypeMovie) {
+				t.Fatalf("edge %d(%d) -> %d(%d) violates movie-bipartite structure", v, tv, u, tu)
+			}
+		}
+	}
+	// Metapath instances must exist for a movie vertex with a director.
+	found := false
+	for v := 0; v < 50 && !found; v++ {
+		if g.Type(graph.VertexID(v)) == TypeMovie {
+			if len(g.MetapathInstances(graph.VertexID(v), d.Metapaths[0], 5)) > 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no MDM metapath instances found for any early movie")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Scale: 0.1, Seed: 99}
+	a, b := RedditLike(cfg), RedditLike(cfg)
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("same seed must give same graph")
+	}
+	if !a.Features.ApproxEqual(b.Features, 0) {
+		t.Fatal("same seed must give same features")
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed must give same labels")
+		}
+	}
+	c := RedditLike(Config{Scale: 0.1, Seed: 100})
+	if a.Graph.NumEdges() == c.Graph.NumEdges() && a.Features.ApproxEqual(c.Features, 0) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestFeaturesCorrelateWithLabels(t *testing.T) {
+	d := RedditLike(Config{Scale: 0.1})
+	dim := d.FeatureDim()
+	block := dim / d.NumClasses
+	// Mean of a vertex's own label block should exceed the global mean.
+	var inBlock, outBlock float64
+	var inN, outN int
+	for v := 0; v < d.Graph.NumVertices(); v++ {
+		start := int(d.Labels[v]) * block
+		for j := 0; j < dim; j++ {
+			val := float64(d.Features.At(v, j))
+			if j >= start && j < start+block {
+				inBlock += val
+				inN++
+			} else {
+				outBlock += val
+				outN++
+			}
+		}
+	}
+	if inBlock/float64(inN) < outBlock/float64(outN)+0.5 {
+		t.Fatalf("label signal too weak: in=%.3f out=%.3f", inBlock/float64(inN), outBlock/float64(outN))
+	}
+}
+
+func TestTrainMaskFraction(t *testing.T) {
+	d := RedditLike(Config{Scale: 0.25})
+	n := 0
+	for _, m := range d.TrainMask {
+		if m {
+			n++
+		}
+	}
+	frac := float64(n) / float64(len(d.TrainMask))
+	if math.Abs(frac-0.7) > 0.1 {
+		t.Fatalf("train fraction = %v, want ~0.7", frac)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"reddit", "fb91", "twitter", "imdb"} {
+		d, err := ByName(name, Config{Scale: 0.05})
+		if err != nil || d.Name != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := ByName("nope", Config{}); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	d := IMDBLike(Config{Scale: 0.05})
+	s := d.Stats()
+	if s.Vertices != d.Graph.NumVertices() || s.Labels != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestAllSuite(t *testing.T) {
+	ds := All(Config{Scale: 0.05})
+	if len(ds) != 4 {
+		t.Fatalf("All returned %d datasets", len(ds))
+	}
+	names := map[string]bool{}
+	for _, d := range ds {
+		names[d.Name] = true
+	}
+	for _, want := range []string{"reddit", "fb91", "twitter", "imdb"} {
+		if !names[want] {
+			t.Fatalf("missing dataset %s", want)
+		}
+	}
+}
+
+func TestFeatureDimOverride(t *testing.T) {
+	d := RedditLike(Config{Scale: 0.02, Seed: 22, FeatureDim: 128})
+	if d.FeatureDim() != 128 {
+		t.Fatalf("FeatureDim = %d", d.FeatureDim())
+	}
+}

@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDatasetRoundTrip(t *testing.T) {
+	orig := IMDBLike(Config{Scale: 0.05, Seed: 5})
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.NumClasses != orig.NumClasses {
+		t.Fatalf("metadata mismatch: %q/%d", got.Name, got.NumClasses)
+	}
+	if got.Graph.NumVertices() != orig.Graph.NumVertices() || got.Graph.NumEdges() != orig.Graph.NumEdges() {
+		t.Fatal("graph dims mismatch")
+	}
+	for v := 0; v < got.Graph.NumVertices(); v++ {
+		if got.Graph.Type(graph.VertexID(v)) != orig.Graph.Type(graph.VertexID(v)) {
+			t.Fatal("vertex types mismatch")
+		}
+		a, b := got.Graph.OutNeighbors(graph.VertexID(v)), orig.Graph.OutNeighbors(graph.VertexID(v))
+		if len(a) != len(b) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("adjacency mismatch at %d", v)
+			}
+		}
+	}
+	if !got.Features.ApproxEqual(orig.Features, 0) {
+		t.Fatal("features mismatch")
+	}
+	for i := range orig.Labels {
+		if got.Labels[i] != orig.Labels[i] || got.TrainMask[i] != orig.TrainMask[i] {
+			t.Fatal("labels/mask mismatch")
+		}
+	}
+	if len(got.Metapaths) != len(orig.Metapaths) {
+		t.Fatal("metapaths mismatch")
+	}
+	for i, mp := range orig.Metapaths {
+		if got.Metapaths[i].Name != mp.Name || len(got.Metapaths[i].Types) != len(mp.Types) {
+			t.Fatal("metapath content mismatch")
+		}
+	}
+}
+
+func TestHomogeneousRoundTripKeepsAssignedTypes(t *testing.T) {
+	// Reddit-like graphs carry 3 assigned types (for MAGNN); they must
+	// survive serialisation.
+	orig := RedditLike(Config{Scale: 0.02, Seed: 6})
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph.NumTypes() != 3 {
+		t.Fatalf("NumTypes = %d after round trip", got.Graph.NumTypes())
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "reddit.fgds")
+	orig := RedditLike(Config{Scale: 0.02, Seed: 7})
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph.NumEdges() != orig.Graph.NumEdges() {
+		t.Fatal("edge count mismatch after file round trip")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a dataset"))); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	if _, err := Read(bytes.NewReader([]byte("FG"))); err == nil {
+		t.Fatal("truncated magic must be rejected")
+	}
+	// Valid magic, truncated body.
+	d := RedditLike(Config{Scale: 0.02, Seed: 8})
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated dataset must be rejected")
+	}
+}

@@ -1,0 +1,198 @@
+// Package engine implements FlexGraph's hybrid aggregation execution
+// (§4.2): for each level of the HDGs it selects between
+//
+//   - feature fusion (FA): a graph-processing style reduction that streams
+//     source features into per-destination buffers without materialising
+//     per-edge messages — used at the neighbor-instance (bottom) level;
+//   - sparse NN operations (SA): gather + scatter over a COO-encoded level,
+//     which materialises one message per edge — the baseline strategy, and
+//     the right tool at the intermediate level where each source has exactly
+//     one outgoing edge;
+//   - dense NN operations: a free reshape plus a dense middle-dimension
+//     reduction (Fig. 10) — used at the schema level, whose regular form is
+//     shared by all roots.
+//
+// All three paths are differentiable, so full models train through them.
+// The strategies SA, SA+FA, and HA of the paper's Fig. 14 ablation select
+// which paths are enabled.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/hdg"
+)
+
+// Adjacency is a destination-major index for one aggregation level: edges
+// go from feature rows (sources) to output rows (destinations). Destination
+// d's incoming sources are SrcIdx[DstPtr[d]:DstPtr[d+1]].
+//
+// ImplicitSrc marks the identity mapping: the source of edge e is feature
+// row e, and SrcIdx is not stored at all. This is exactly the paper's
+// omitted-Dst2 case at the intermediate level, carried through to the
+// compute path.
+type Adjacency struct {
+	NumDst      int
+	NumSrc      int
+	DstPtr      []int64
+	SrcIdx      []int32
+	ImplicitSrc bool
+
+	revOnce sync.Once
+	rev     *Adjacency
+}
+
+// NumEdges returns the level's edge count.
+func (a *Adjacency) NumEdges() int64 { return a.DstPtr[a.NumDst] }
+
+// Src returns the source of edge e, resolving the implicit identity.
+func (a *Adjacency) Src(e int64) int32 {
+	if a.ImplicitSrc {
+		return int32(e)
+	}
+	return a.SrcIdx[e]
+}
+
+// EdgeLists materialises the per-edge (src, dst) index arrays — the COO
+// encoding used by the sparse (SA) execution path.
+func (a *Adjacency) EdgeLists() (src, dst []int32) {
+	m := a.NumEdges()
+	dst = make([]int32, m)
+	for d := 0; d < a.NumDst; d++ {
+		for e := a.DstPtr[d]; e < a.DstPtr[d+1]; e++ {
+			dst[e] = int32(d)
+		}
+	}
+	if !a.ImplicitSrc {
+		return a.SrcIdx, dst
+	}
+	src = make([]int32, m)
+	for e := range src {
+		src[e] = int32(e)
+	}
+	return src, dst
+}
+
+// Reverse returns the source-major view (src -> list of dsts), building and
+// caching it on first use. The backward pass of the fused aggregation uses
+// it to route gradients without atomics.
+func (a *Adjacency) Reverse() *Adjacency {
+	a.revOnce.Do(func() {
+		ptr := make([]int64, a.NumSrc+1)
+		m := a.NumEdges()
+		for e := int64(0); e < m; e++ {
+			ptr[a.Src(e)+1]++
+		}
+		for i := 0; i < a.NumSrc; i++ {
+			ptr[i+1] += ptr[i]
+		}
+		idx := make([]int32, m)
+		next := make([]int64, a.NumSrc)
+		copy(next, ptr[:a.NumSrc])
+		for d := 0; d < a.NumDst; d++ {
+			for e := a.DstPtr[d]; e < a.DstPtr[d+1]; e++ {
+				s := a.Src(e)
+				idx[next[s]] = int32(d)
+				next[s]++
+			}
+		}
+		a.rev = &Adjacency{NumDst: a.NumSrc, NumSrc: a.NumDst, DstPtr: ptr, SrcIdx: idx}
+	})
+	return a.rev
+}
+
+// Degrees returns the in-degree of every destination.
+func (a *Adjacency) Degrees() []int32 {
+	out := make([]int32, a.NumDst)
+	for d := range out {
+		out[d] = int32(a.DstPtr[d+1] - a.DstPtr[d])
+	}
+	return out
+}
+
+// FromGraphInEdges builds the level used by DNFA models like GCN: every
+// vertex is a destination and its in-neighbors are the sources. No HDG is
+// materialised — the input graph itself captures the dependencies (§7.4).
+func FromGraphInEdges(g *graph.Graph) *Adjacency {
+	n := g.NumVertices()
+	ptr := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		ptr[v+1] = ptr[v] + int64(g.InDegree(graph.VertexID(v)))
+	}
+	idx := make([]int32, ptr[n])
+	for v := 0; v < n; v++ {
+		copy(idx[ptr[v]:ptr[v+1]], g.InNeighbors(graph.VertexID(v)))
+	}
+	return &Adjacency{NumDst: n, NumSrc: n, DstPtr: ptr, SrcIdx: idx}
+}
+
+// FromHDGBottom builds the bottom level of a hierarchical HDG: leaf
+// vertices -> neighbor instances. numFeatureRows is the size of the feature
+// universe leaf IDs index into (the graph's vertex count, or a local remap
+// in distributed mode).
+func FromHDGBottom(h *hdg.HDG, numFeatureRows int) *Adjacency {
+	if h.IsFlat() {
+		panic("engine: FromHDGBottom on a flat HDG; use FromHDGFlat")
+	}
+	n := h.NumInstances()
+	ptr := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		ptr[i+1] = ptr[i] + int64(len(h.Leaves(i)))
+	}
+	idx := make([]int32, ptr[n])
+	for i := 0; i < n; i++ {
+		copy(idx[ptr[i]:ptr[i+1]], h.Leaves(i))
+	}
+	return &Adjacency{NumDst: n, NumSrc: numFeatureRows, DstPtr: ptr, SrcIdx: idx}
+}
+
+// FromHDGFlat builds the single level of a flat HDG (INFA models like
+// PinSage): leaf vertices -> roots.
+func FromHDGFlat(h *hdg.HDG, numFeatureRows int) *Adjacency {
+	if !h.IsFlat() {
+		panic("engine: FromHDGFlat on a hierarchical HDG")
+	}
+	nR, T := h.NumRoots(), h.NumTypes()
+	ptr := make([]int64, nR+1)
+	for r := 0; r < nR; r++ {
+		total := int64(0)
+		for t := 0; t < T; t++ {
+			lo, hi := h.Instances(r, t)
+			total += int64(hi - lo)
+		}
+		ptr[r+1] = ptr[r] + total
+	}
+	idx := make([]int32, ptr[nR])
+	pos := int64(0)
+	for r := 0; r < nR; r++ {
+		for t := 0; t < T; t++ {
+			lo, hi := h.Instances(r, t)
+			for i := lo; i < hi; i++ {
+				idx[pos] = h.Leaves(int(i))[0]
+				pos++
+			}
+		}
+	}
+	return &Adjacency{NumDst: nR, NumSrc: numFeatureRows, DstPtr: ptr, SrcIdx: idx}
+}
+
+// FromHDGIntermediate builds the in-between level: neighbor instances ->
+// (root, type) slots. Instances are consecutive per slot, so the source
+// array is the identity and is omitted — §4.1's storage optimisation
+// becomes a zero-copy view here.
+func FromHDGIntermediate(h *hdg.HDG) *Adjacency {
+	nSlots := h.NumRoots() * h.NumTypes()
+	ptr := make([]int64, nSlots+1)
+	for s := 0; s < nSlots; s++ {
+		ptr[s+1] = int64(h.InstOffset[s+1])
+	}
+	return &Adjacency{NumDst: nSlots, NumSrc: h.NumInstances(), DstPtr: ptr, ImplicitSrc: true}
+}
+
+func (a *Adjacency) validate(featRows int) {
+	if featRows != a.NumSrc {
+		panic(fmt.Sprintf("engine: feature rows %d != adjacency source universe %d", featRows, a.NumSrc))
+	}
+}

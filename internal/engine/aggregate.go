@@ -1,0 +1,294 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/hdg"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Strategy selects which execution paths the hybrid engine may use,
+// matching the paper's Fig. 14 ablation.
+type Strategy int
+
+const (
+	// StrategySA uses sparse scatter operations everywhere, materialising
+	// per-edge messages — how PyG/PyTorch implementations execute.
+	StrategySA Strategy = iota
+	// StrategySAFA adds feature fusion at the bottom level.
+	StrategySAFA
+	// StrategyHA is full hybrid aggregation: fusion at the bottom, sparse
+	// ops in the middle, dense tensor ops at the schema level.
+	StrategyHA
+)
+
+// String returns the ablation label used in Fig. 14.
+func (s Strategy) String() string {
+	switch s {
+	case StrategySA:
+		return "SA"
+	case StrategySAFA:
+		return "SA+FA"
+	case StrategyHA:
+		return "HA"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Engine executes aggregation levels under a strategy.
+type Engine struct {
+	Strategy Strategy
+}
+
+// New returns an engine with the given strategy. The zero value is SA.
+func New(s Strategy) *Engine { return &Engine{Strategy: s} }
+
+// AggregateBottom aggregates source features into destination rows for the
+// bottom (neighbor-instance) level, or for a DNFA model's 1-hop level. The
+// SA strategy materialises messages; SA+FA and HA use feature fusion.
+func (e *Engine) AggregateBottom(adj *Adjacency, feats *nn.Value, op tensor.ReduceOp) *nn.Value {
+	if e.Strategy == StrategySA {
+		return ScatterAggregate(adj, feats, op)
+	}
+	return FusedAggregate(adj, feats, op)
+}
+
+// AggregateIntermediate reduces instance features into (root, type) slots
+// with a sparse scatter — the level where sparse NN ops carry no
+// materialisation overhead because each instance has exactly one out-edge.
+func (e *Engine) AggregateIntermediate(h *hdg.HDG, instFeats *nn.Value, op tensor.ReduceOp) *nn.Value {
+	slots := h.InstanceSlots()
+	n := h.NumRoots() * h.NumTypes()
+	switch op {
+	case tensor.ReduceSum:
+		return nn.ScatterAdd(instFeats, slots, n)
+	case tensor.ReduceMean:
+		return nn.ScatterMean(instFeats, slots, n)
+	case tensor.ReduceMax:
+		return nn.ScatterMax(instFeats, slots, n)
+	case tensor.ReduceMin:
+		return nn.ScatterMin(instFeats, slots, n)
+	default:
+		panic(fmt.Sprintf("engine: unsupported intermediate op %v", op))
+	}
+}
+
+// SoftmaxWeighted applies scatter_softmax attention over instances within
+// each (root, type) slot and returns the attention-weighted slot sums —
+// MAGNN's intermediate aggregation (Fig. 7's scatter_softmax step).
+func (e *Engine) SoftmaxWeighted(h *hdg.HDG, scores, instFeats *nn.Value) *nn.Value {
+	slots := h.InstanceSlots()
+	n := h.NumRoots() * h.NumTypes()
+	att := nn.ScatterSoftmax(scores, slots, n)
+	return nn.ScatterAdd(nn.MulBroadcast(att, instFeats), slots, n)
+}
+
+// AggregateSchema reduces slot features [roots*T, dim] to root features
+// [roots, dim]. Under HA this is the dense reshape + middle reduction of
+// Fig. 10 (zero-copy reshape, regular form shared by all roots); under
+// SA/SA+FA it falls back to a sparse scatter keyed by root.
+func (e *Engine) AggregateSchema(h *hdg.HDG, slotFeats *nn.Value, op tensor.ReduceOp) *nn.Value {
+	nR, T := h.NumRoots(), h.NumTypes()
+	if slotFeats.Data.Rows() != nR*T {
+		panic(fmt.Sprintf("engine: schema level expects %d slot rows, got %d", nR*T, slotFeats.Data.Rows()))
+	}
+	if e.Strategy == StrategyHA {
+		dim := slotFeats.Data.Dim(1)
+		return nn.ReduceMiddle(nn.Reshape(slotFeats, nR, T, dim), op)
+	}
+	index := make([]int32, nR*T)
+	for i := range index {
+		index[i] = int32(i / T)
+	}
+	switch op {
+	case tensor.ReduceSum:
+		return nn.ScatterAdd(slotFeats, index, nR)
+	case tensor.ReduceMean:
+		return nn.ScatterMean(slotFeats, index, nR)
+	case tensor.ReduceMax:
+		return nn.ScatterMax(slotFeats, index, nR)
+	default:
+		panic(fmt.Sprintf("engine: unsupported schema op %v", op))
+	}
+}
+
+// ScatterAggregate is the sparse (SA) path: materialise one message per
+// edge with a gather, then reduce with a scatter. Memory cost is
+// O(edges × dim) — the blow-up §4.2 describes.
+func ScatterAggregate(adj *Adjacency, feats *nn.Value, op tensor.ReduceOp) *nn.Value {
+	adj.validate(feats.Data.Rows())
+	src, dst := adj.EdgeLists()
+	var messages *nn.Value
+	if adj.ImplicitSrc {
+		messages = feats // identity mapping: rows are already in edge order
+	} else {
+		messages = nn.Gather(feats, src)
+	}
+	switch op {
+	case tensor.ReduceSum:
+		return nn.ScatterAdd(messages, dst, adj.NumDst)
+	case tensor.ReduceMean:
+		return nn.ScatterMean(messages, dst, adj.NumDst)
+	case tensor.ReduceMax:
+		return nn.ScatterMax(messages, dst, adj.NumDst)
+	case tensor.ReduceMin:
+		return nn.ScatterMin(messages, dst, adj.NumDst)
+	default:
+		panic(fmt.Sprintf("engine: unsupported scatter op %v", op))
+	}
+}
+
+// FusedAggregate is the feature-fusion (FA) path: each worker streams the
+// features of its destinations' sources directly into the destination rows,
+// never materialising per-edge messages. The backward pass routes gradients
+// through the cached reverse adjacency, also fused.
+func FusedAggregate(adj *Adjacency, feats *nn.Value, op tensor.ReduceOp) *nn.Value {
+	return FusedAggregateOpt(adj, feats, op, true)
+}
+
+// FusedAggregateScalar is FusedAggregate with the wide "SIMD" inner kernels
+// replaced by plain scalar loops. It exists to emulate kernel-fusion systems
+// without FlexGraph's SIMD acceleration (the paper attributes part of the
+// DGL gap to AVX-512, §7.1), and for the SIMD ablation bench.
+func FusedAggregateScalar(adj *Adjacency, feats *nn.Value, op tensor.ReduceOp) *nn.Value {
+	return FusedAggregateOpt(adj, feats, op, false)
+}
+
+// FusedAggregateOpt is the fused path with an explicit SIMD toggle.
+func FusedAggregateOpt(adj *Adjacency, feats *nn.Value, op tensor.ReduceOp, simd bool) *nn.Value {
+	adj.validate(feats.Data.Rows())
+	switch op {
+	case tensor.ReduceSum, tensor.ReduceMean:
+		return fusedSumMean(adj, feats, op, simd)
+	case tensor.ReduceMax:
+		return fusedExtreme(adj, feats, true)
+	case tensor.ReduceMin:
+		return fusedExtreme(adj, feats, false)
+	default:
+		panic(fmt.Sprintf("engine: unsupported fused op %v", op))
+	}
+}
+
+func fusedForwardSum(adj *Adjacency, feats *tensor.Tensor, mean, simd bool) *tensor.Tensor {
+	dim := feats.Cols()
+	out := tensor.New(adj.NumDst, dim)
+	od, fd := out.Data(), feats.Data()
+	add := tensor.AddUnrolled
+	if !simd {
+		add = tensor.AddScalarLoop
+	}
+	tensor.ParallelFor(adj.NumDst, func(s, e int) {
+		for d := s; d < e; d++ {
+			dst := od[d*dim : (d+1)*dim]
+			lo, hi := adj.DstPtr[d], adj.DstPtr[d+1]
+			for p := lo; p < hi; p++ {
+				src := int(adj.Src(p))
+				add(dst, fd[src*dim:(src+1)*dim])
+			}
+			if mean && hi > lo {
+				tensor.ScaleUnrolled(dst, 1/float32(hi-lo))
+			}
+		}
+	})
+	return out
+}
+
+func fusedSumMean(adj *Adjacency, feats *nn.Value, op tensor.ReduceOp, simd bool) *nn.Value {
+	mean := op == tensor.ReduceMean
+	data := fusedForwardSum(adj, feats.Data, mean, simd)
+	backward := func(out *nn.Value) {
+		rev := adj.Reverse()
+		dim := feats.Data.Cols()
+		grad := tensor.New(feats.Data.Shape()...)
+		gd, od := grad.Data(), out.Grad.Data()
+		add, axpy := tensor.AddUnrolled, tensor.AxpyUnrolled
+		if !simd {
+			add, axpy = tensor.AddScalarLoop, tensor.AxpyScalarLoop
+		}
+		var degInv []float32
+		if mean {
+			degInv = make([]float32, adj.NumDst)
+			for d := 0; d < adj.NumDst; d++ {
+				if deg := adj.DstPtr[d+1] - adj.DstPtr[d]; deg > 0 {
+					degInv[d] = 1 / float32(deg)
+				}
+			}
+		}
+		tensor.ParallelFor(rev.NumDst, func(s, e int) {
+			for v := s; v < e; v++ {
+				dst := gd[v*dim : (v+1)*dim]
+				for p := rev.DstPtr[v]; p < rev.DstPtr[v+1]; p++ {
+					d := int(rev.SrcIdx[p])
+					row := od[d*dim : (d+1)*dim]
+					if mean {
+						axpy(dst, row, degInv[d])
+					} else {
+						add(dst, row)
+					}
+				}
+			}
+		})
+		accumInto(feats, grad)
+	}
+	return nn.NewOp(data, backward, feats)
+}
+
+func fusedExtreme(adj *Adjacency, feats *nn.Value, max bool) *nn.Value {
+	dim := feats.Data.Cols()
+	out := tensor.New(adj.NumDst, dim)
+	argmax := make([]int32, adj.NumDst*dim)
+	od, fd := out.Data(), feats.Data.Data()
+	tensor.ParallelFor(adj.NumDst, func(s, e int) {
+		for d := s; d < e; d++ {
+			base := d * dim
+			first := true
+			for p := adj.DstPtr[d]; p < adj.DstPtr[d+1]; p++ {
+				src := int(adj.Src(p))
+				row := fd[src*dim : (src+1)*dim]
+				if first {
+					copy(od[base:base+dim], row)
+					for j := 0; j < dim; j++ {
+						argmax[base+j] = int32(src)
+					}
+					first = false
+					continue
+				}
+				for j := 0; j < dim; j++ {
+					better := row[j] > od[base+j]
+					if !max {
+						better = row[j] < od[base+j]
+					}
+					if better {
+						od[base+j] = row[j]
+						argmax[base+j] = int32(src)
+					}
+				}
+			}
+			if first {
+				for j := 0; j < dim; j++ {
+					argmax[base+j] = -1
+				}
+			}
+		}
+	})
+	backward := func(outV *nn.Value) {
+		grad := tensor.New(feats.Data.Shape()...)
+		gd, ogd := grad.Data(), outV.Grad.Data()
+		for d := 0; d < adj.NumDst; d++ {
+			base := d * dim
+			for j := 0; j < dim; j++ {
+				if src := argmax[base+j]; src >= 0 {
+					gd[int(src)*dim+j] += ogd[base+j]
+				}
+			}
+		}
+		accumInto(feats, grad)
+	}
+	return nn.NewOp(out, backward, feats)
+}
+
+func accumInto(v *nn.Value, grad *tensor.Tensor) {
+	nn.AccumGrad(v, grad)
+}

@@ -1,0 +1,170 @@
+// Package graph implements the parallel graph-processing substrate of
+// FlexGraph-Go, playing the role libgrape-lite plays in the paper (Fig. 12):
+// compact immutable adjacency storage, parallel vertex-centric traversal,
+// random walks, and metapath instance search — the graph-related operations
+// that the NeighborSelection stage needs and that are "clearly out of the
+// reach of NN operations" (§3.2).
+//
+// Graphs are directed, stored in both CSR (out-edges) and CSC (in-edges)
+// form, and support heterogeneous vertex types for INHA models like MAGNN.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex; IDs are dense in [0, NumVertices).
+type VertexID = int32
+
+// Graph is an immutable directed graph.
+type Graph struct {
+	numVertices int
+
+	// CSR: out-edges. outPtr has length numVertices+1; outAdj[outPtr[v]:
+	// outPtr[v+1]] are v's out-neighbors, sorted ascending.
+	outPtr []int64
+	outAdj []VertexID
+
+	// CSC: in-edges, same layout.
+	inPtr []int64
+	inAdj []VertexID
+
+	// vertexType[v] is the type of v; nil for homogeneous graphs.
+	vertexType []uint8
+	numTypes   int
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return g.numVertices }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int64 { return int64(len(g.outAdj)) }
+
+// OutNeighbors returns v's out-neighbors as a shared slice; callers must not
+// modify it.
+func (g *Graph) OutNeighbors(v VertexID) []VertexID {
+	return g.outAdj[g.outPtr[v]:g.outPtr[v+1]]
+}
+
+// InNeighbors returns v's in-neighbors as a shared slice.
+func (g *Graph) InNeighbors(v VertexID) []VertexID {
+	return g.inAdj[g.inPtr[v]:g.inPtr[v+1]]
+}
+
+// OutDegree returns the number of out-edges of v.
+func (g *Graph) OutDegree(v VertexID) int { return int(g.outPtr[v+1] - g.outPtr[v]) }
+
+// InDegree returns the number of in-edges of v.
+func (g *Graph) InDegree(v VertexID) int { return int(g.inPtr[v+1] - g.inPtr[v]) }
+
+// Type returns the vertex type of v; homogeneous graphs report type 0.
+func (g *Graph) Type(v VertexID) uint8 {
+	if g.vertexType == nil {
+		return 0
+	}
+	return g.vertexType[v]
+}
+
+// NumTypes returns the number of distinct vertex types (at least 1).
+func (g *Graph) NumTypes() int {
+	if g.numTypes == 0 {
+		return 1
+	}
+	return g.numTypes
+}
+
+// HasEdge reports whether the edge u->v exists, by binary search over u's
+// sorted adjacency.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	adj := g.OutNeighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// NumBytes returns the memory footprint of the adjacency arrays, the
+// denominator of the paper's Table 5.
+func (g *Graph) NumBytes() int64 {
+	b := int64(len(g.outPtr))*8 + int64(len(g.outAdj))*4 +
+		int64(len(g.inPtr))*8 + int64(len(g.inAdj))*4
+	if g.vertexType != nil {
+		b += int64(len(g.vertexType))
+	}
+	return b
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	numVertices int
+	srcs        []VertexID
+	dsts        []VertexID
+	vertexType  []uint8
+	numTypes    int
+}
+
+// NewBuilder returns a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{numVertices: n}
+}
+
+// SetTypes assigns vertex types; len(types) must be the vertex count.
+func (b *Builder) SetTypes(types []uint8, numTypes int) *Builder {
+	if len(types) != b.numVertices {
+		panic(fmt.Sprintf("graph: SetTypes length %d != vertex count %d", len(types), b.numVertices))
+	}
+	b.vertexType = types
+	b.numTypes = numTypes
+	return b
+}
+
+// AddEdge records the directed edge src -> dst.
+func (b *Builder) AddEdge(src, dst VertexID) {
+	if int(src) >= b.numVertices || int(dst) >= b.numVertices || src < 0 || dst < 0 {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", src, dst, b.numVertices))
+	}
+	b.srcs = append(b.srcs, src)
+	b.dsts = append(b.dsts, dst)
+}
+
+// AddUndirected records both src -> dst and dst -> src.
+func (b *Builder) AddUndirected(a, c VertexID) {
+	b.AddEdge(a, c)
+	b.AddEdge(c, a)
+}
+
+// Build produces the immutable graph. Duplicate edges are kept (multi-edges
+// are legal); adjacency lists are sorted.
+func (b *Builder) Build() *Graph {
+	g := &Graph{
+		numVertices: b.numVertices,
+		vertexType:  b.vertexType,
+		numTypes:    b.numTypes,
+	}
+	g.outPtr, g.outAdj = buildCS(b.numVertices, b.srcs, b.dsts)
+	g.inPtr, g.inAdj = buildCS(b.numVertices, b.dsts, b.srcs)
+	return g
+}
+
+// buildCS builds a compressed-sparse layout mapping key vertex -> sorted
+// values, via counting sort over keys then per-row sorts.
+func buildCS(n int, keys, vals []VertexID) ([]int64, []VertexID) {
+	ptr := make([]int64, n+1)
+	for _, k := range keys {
+		ptr[k+1]++
+	}
+	for i := 0; i < n; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	adj := make([]VertexID, len(keys))
+	next := make([]int64, n)
+	copy(next, ptr[:n])
+	for i, k := range keys {
+		adj[next[k]] = vals[i]
+		next[k]++
+	}
+	for v := 0; v < n; v++ {
+		row := adj[ptr[v]:ptr[v+1]]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+	}
+	return ptr, adj
+}

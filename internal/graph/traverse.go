@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"repro/internal/tensor"
+)
+
+// BFSOrder returns vertices reachable from seed in breadth-first order,
+// following out-edges. The seed is included. Used by the ADB balancer to
+// grow locality-preserving migration candidates (§5).
+func (g *Graph) BFSOrder(seed VertexID, limit int) []VertexID {
+	if limit <= 0 {
+		limit = g.numVertices
+	}
+	visited := make(map[VertexID]bool, limit)
+	order := make([]VertexID, 0, limit)
+	queue := []VertexID{seed}
+	visited[seed] = true
+	for len(queue) > 0 && len(order) < limit {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, u := range g.OutNeighbors(v) {
+			if !visited[u] {
+				visited[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return order
+}
+
+// RandomWalk performs one random walk of the given number of hops starting
+// at start, following out-edges uniformly. The returned path includes start
+// and stops early at sinks. This is the primitive PinSage's
+// NeighborSelection UDF uses (Fig. 5).
+func (g *Graph) RandomWalk(rng *tensor.RNG, start VertexID, hops int) []VertexID {
+	path := make([]VertexID, 1, hops+1)
+	path[0] = start
+	cur := start
+	for i := 0; i < hops; i++ {
+		adj := g.OutNeighbors(cur)
+		if len(adj) == 0 {
+			break
+		}
+		cur = adj[rng.Intn(len(adj))]
+		path = append(path, cur)
+	}
+	return path
+}
+
+// TopKVisited runs numWalks random walks of hops steps from start and
+// returns the k most frequently visited vertices other than start itself,
+// most-visited first — PinSage's importance-based neighborhood (§2.2).
+// Ties break by smaller vertex ID for determinism.
+func (g *Graph) TopKVisited(rng *tensor.RNG, start VertexID, numWalks, hops, k int) []VertexID {
+	counts := make(map[VertexID]int)
+	for w := 0; w < numWalks; w++ {
+		for _, v := range g.RandomWalk(rng, start, hops)[1:] {
+			if v != start {
+				counts[v]++
+			}
+		}
+	}
+	type vc struct {
+		v VertexID
+		c int
+	}
+	all := make([]vc, 0, len(counts))
+	for v, c := range counts {
+		all = append(all, vc{v, c})
+	}
+	// Selection by (count desc, id asc).
+	for i := 0; i < len(all) && i < k; i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].c > all[best].c || (all[j].c == all[best].c && all[j].v < all[best].v) {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+	}
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]VertexID, len(all))
+	for i, e := range all {
+		out[i] = e.v
+	}
+	return out
+}
+
+// Metapath is an ordered sequence of vertex types; a metapath instance
+// rooted at v is a path v = u0 -> u1 -> ... -> un whose vertex types match
+// the sequence (§2.2, Fig. 2b).
+type Metapath struct {
+	Name  string
+	Types []uint8
+}
+
+// Length returns the number of vertices in an instance of the metapath.
+func (m Metapath) Length() int { return len(m.Types) }
+
+// MetapathInstances finds every simple path (no repeated vertices) starting
+// at root that matches mp, following out-edges. Each returned instance is
+// the full vertex sequence including root. root's type must match
+// mp.Types[0] or the result is empty. maxInstances bounds the search
+// (0 means unlimited). Restricting to simple paths matches the paper's
+// Fig. 2c, where vertex A has exactly 1 MP1 instance and 4 MP2 instances.
+func (g *Graph) MetapathInstances(root VertexID, mp Metapath, maxInstances int) [][]VertexID {
+	if len(mp.Types) == 0 || g.Type(root) != mp.Types[0] {
+		return nil
+	}
+	var out [][]VertexID
+	path := make([]VertexID, 1, len(mp.Types))
+	path[0] = root
+	var dfs func(depth int) bool
+	dfs = func(depth int) bool {
+		if depth == len(mp.Types) {
+			out = append(out, append([]VertexID(nil), path...))
+			return maxInstances > 0 && len(out) >= maxInstances
+		}
+	next:
+		for _, u := range g.OutNeighbors(path[depth-1]) {
+			if g.Type(u) != mp.Types[depth] {
+				continue
+			}
+			for _, seen := range path {
+				if seen == u {
+					continue next
+				}
+			}
+			path = append(path, u)
+			stop := dfs(depth + 1)
+			path = path[:len(path)-1]
+			if stop {
+				return true
+			}
+		}
+		return false
+	}
+	dfs(1)
+	return out
+}
+
+// ParallelVertexMap runs fn over every vertex using all cores; fn must be
+// safe for concurrent invocation on distinct vertices. This is the
+// vertex-centric parallel driver the graph engine offers to UDFs.
+func (g *Graph) ParallelVertexMap(fn func(v VertexID)) {
+	tensor.ParallelFor(g.numVertices, func(s, e int) {
+		for v := s; v < e; v++ {
+			fn(VertexID(v))
+		}
+	})
+}
+
+// Induce builds the subgraph induced on the given vertices (in order) and
+// returns it with the global-to-local remap. Vertex types are preserved.
+func (g *Graph) Induce(vertices []VertexID) (*Graph, map[VertexID]int32) {
+	remap := make(map[VertexID]int32, len(vertices))
+	for i, v := range vertices {
+		remap[v] = int32(i)
+	}
+	b := NewBuilder(len(vertices))
+	if g.NumTypes() > 1 {
+		types := make([]uint8, len(vertices))
+		for i, v := range vertices {
+			types[i] = g.Type(v)
+		}
+		b.SetTypes(types, g.NumTypes())
+	}
+	for i, v := range vertices {
+		for _, u := range g.OutNeighbors(v) {
+			if j, ok := remap[u]; ok {
+				b.AddEdge(VertexID(i), j)
+			}
+		}
+	}
+	return b.Build(), remap
+}
+
+// DegreeHistogram returns counts of out-degrees bucketed as
+// [0, 1, 2-3, 4-7, 8-15, ...] (power-of-two buckets), used by dataset
+// sanity checks.
+func (g *Graph) DegreeHistogram() []int64 {
+	var hist []int64
+	bucketOf := func(d int) int {
+		b := 0
+		for d > 0 {
+			d >>= 1
+			b++
+		}
+		return b
+	}
+	for v := 0; v < g.numVertices; v++ {
+		b := bucketOf(g.OutDegree(VertexID(v)))
+		for len(hist) <= b {
+			hist = append(hist, 0)
+		}
+		hist[b]++
+	}
+	return hist
+}

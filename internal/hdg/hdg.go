@@ -1,0 +1,274 @@
+// Package hdg implements hierarchical dependency graphs, the core data
+// structure of the paper (§3.1, §4.1). An HDG encodes, for every root
+// vertex, how its feature is aggregated from its "neighbors": a schema tree
+// of neighbor types at the top, neighbor instances in the middle, and leaf
+// vertices from the input graph at the bottom.
+//
+// The storage follows §4.1's compact layout:
+//
+//  1. Subgraph of neighbor instances (bottom level): CSC-style arrays
+//     LeafOffset + LeafIDs (the paper's Offset3/Dst3).
+//  2. Subgraph in-between (instances -> schema leaves): instances are
+//     ordered consecutively by (root, type), so the destination array
+//     (the paper's Dst2) is omitted entirely and only the offset array
+//     InstOffset is kept.
+//  3. Schema trees: a single global schema tree shared by all roots, never
+//     one physical copy per root.
+//
+// Flat HDGs (DNFA/INFA models such as GCN and PinSage) collapse the bottom
+// two levels: each neighbor instance is a single vertex, so LeafOffset is
+// dropped and LeafIDs indexes directly by instance.
+package hdg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// SchemaTree encodes the neighbor types of a GNN model (§3.1). The root is
+// implicit; Types are the leaves. A flat model has a single type.
+type SchemaTree struct {
+	Types []string
+}
+
+// NewSchemaTree returns a schema tree with the given neighbor type names.
+func NewSchemaTree(types ...string) *SchemaTree {
+	if len(types) == 0 {
+		panic("hdg: schema tree needs at least one neighbor type")
+	}
+	return &SchemaTree{Types: append([]string(nil), types...)}
+}
+
+// NumTypes returns the number of neighbor types (schema leaves).
+func (s *SchemaTree) NumTypes() int { return len(s.Types) }
+
+// IsFlat reports whether the schema has a single neighbor type, i.e. the
+// model is DNFA or INFA and the schema tree degenerates to the root (the
+// paper's "we stipulate T = v when T has a single neighbor type").
+func (s *SchemaTree) IsFlat() bool { return len(s.Types) == 1 }
+
+// TypeIndex returns the index of the named type, or -1.
+func (s *SchemaTree) TypeIndex(name string) int {
+	for i, t := range s.Types {
+		if t == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Record is one "neighbor" produced by a NeighborSelection UDF: the paper's
+// (root, nei = [leaf_0..leaf_n], nei_type) tuple (§4.1).
+type Record struct {
+	Root graph.VertexID
+	Nei  []graph.VertexID
+	Type int
+}
+
+// HDG is the collection of hierarchical dependency graphs for a set of root
+// vertices, stored in the compact layout described in the package comment.
+type HDG struct {
+	Schema *SchemaTree
+
+	// Roots lists the root vertices, in rank order. rootRank is the
+	// inverse mapping for roots present in this HDG.
+	Roots    []graph.VertexID
+	rootRank map[graph.VertexID]int32
+
+	// flat records that every neighbor instance is a single vertex.
+	flat bool
+
+	// InstOffset has length NumRoots*NumTypes+1. Instances are ordered by
+	// (root rank, type); InstOffset[r*T+t] .. InstOffset[r*T+t+1] is the
+	// instance range for root r and type t. Because of this ordering the
+	// paper's Dst2 array is implicit and never stored.
+	InstOffset []int32
+
+	// LeafIDs holds the leaf vertices of all instances, concatenated in
+	// instance order. For flat HDGs instance i's single leaf is
+	// LeafIDs[i] and LeafOffset is nil; otherwise instance i's leaves are
+	// LeafIDs[LeafOffset[i]:LeafOffset[i+1]].
+	LeafOffset []int32
+	LeafIDs    []graph.VertexID
+}
+
+// Build constructs the HDG for the given roots from NeighborSelection
+// records. Records may arrive in any order; they are grouped by
+// (root, type). Records whose root is not in roots are rejected.
+func Build(schema *SchemaTree, roots []graph.VertexID, records []Record) (*HDG, error) {
+	h := &HDG{
+		Schema:   schema,
+		Roots:    append([]graph.VertexID(nil), roots...),
+		rootRank: make(map[graph.VertexID]int32, len(roots)),
+		flat:     true,
+	}
+	for i, r := range h.Roots {
+		if _, dup := h.rootRank[r]; dup {
+			return nil, fmt.Errorf("hdg: duplicate root %d", r)
+		}
+		h.rootRank[r] = int32(i)
+	}
+	T := schema.NumTypes()
+	// Validate and bucket-count.
+	counts := make([]int32, len(roots)*T+1)
+	for _, rec := range records {
+		rank, ok := h.rootRank[rec.Root]
+		if !ok {
+			return nil, fmt.Errorf("hdg: record for unknown root %d", rec.Root)
+		}
+		if rec.Type < 0 || rec.Type >= T {
+			return nil, fmt.Errorf("hdg: record type %d out of range [0,%d)", rec.Type, T)
+		}
+		if len(rec.Nei) == 0 {
+			return nil, fmt.Errorf("hdg: record for root %d has no leaves", rec.Root)
+		}
+		if len(rec.Nei) > 1 {
+			h.flat = false
+		}
+		counts[int(rank)*T+rec.Type+1]++
+	}
+	// Order records by (root rank, type) with a stable counting sort, so
+	// the instance ordering matches InstOffset and Dst2 stays implicit.
+	h.InstOffset = counts
+	for i := 1; i < len(h.InstOffset); i++ {
+		h.InstOffset[i] += h.InstOffset[i-1]
+	}
+	ordered := make([]*Record, len(records))
+	next := make([]int32, len(roots)*T)
+	copy(next, h.InstOffset[:len(roots)*T])
+	for i := range records {
+		rec := &records[i]
+		slot := int(h.rootRank[rec.Root])*T + rec.Type
+		ordered[next[slot]] = rec
+		next[slot]++
+	}
+	// Emit leaf arrays.
+	if h.flat {
+		h.LeafIDs = make([]graph.VertexID, len(ordered))
+		for i, rec := range ordered {
+			h.LeafIDs[i] = rec.Nei[0]
+		}
+	} else {
+		h.LeafOffset = make([]int32, len(ordered)+1)
+		total := 0
+		for i, rec := range ordered {
+			total += len(rec.Nei)
+			h.LeafOffset[i+1] = int32(total)
+		}
+		h.LeafIDs = make([]graph.VertexID, 0, total)
+		for _, rec := range ordered {
+			h.LeafIDs = append(h.LeafIDs, rec.Nei...)
+		}
+	}
+	return h, nil
+}
+
+// NumRoots returns the number of root vertices.
+func (h *HDG) NumRoots() int { return len(h.Roots) }
+
+// NumTypes returns the number of neighbor types.
+func (h *HDG) NumTypes() int { return h.Schema.NumTypes() }
+
+// NumInstances returns the number of neighbor instances across all roots.
+func (h *HDG) NumInstances() int {
+	return int(h.InstOffset[len(h.InstOffset)-1])
+}
+
+// IsFlat reports whether every instance is a single vertex, in which case
+// the bottom aggregation directly produces root-level features.
+func (h *HDG) IsFlat() bool { return h.flat }
+
+// RootRank returns the rank of root v and whether it is present.
+func (h *HDG) RootRank(v graph.VertexID) (int32, bool) {
+	r, ok := h.rootRank[v]
+	return r, ok
+}
+
+// Instances returns the instance index range [lo, hi) for root rank r and
+// type t.
+func (h *HDG) Instances(r int, t int) (int32, int32) {
+	slot := r*h.NumTypes() + t
+	return h.InstOffset[slot], h.InstOffset[slot+1]
+}
+
+// Leaves returns the leaf vertices of instance i.
+func (h *HDG) Leaves(i int) []graph.VertexID {
+	if h.flat {
+		return h.LeafIDs[i : i+1]
+	}
+	return h.LeafIDs[h.LeafOffset[i]:h.LeafOffset[i+1]]
+}
+
+// InstanceType returns the schema type of instance i, recovered from the
+// implicit (root, type) ordering by binary search over InstOffset.
+func (h *HDG) InstanceType(i int) int {
+	slot := sort.Search(len(h.InstOffset)-1, func(s int) bool {
+		return h.InstOffset[s+1] > int32(i)
+	})
+	return slot % h.NumTypes()
+}
+
+// InstanceRoot returns the root rank of instance i.
+func (h *HDG) InstanceRoot(i int) int {
+	slot := sort.Search(len(h.InstOffset)-1, func(s int) bool {
+		return h.InstOffset[s+1] > int32(i)
+	})
+	return slot / h.NumTypes()
+}
+
+// InstanceSlots materialises, for every instance, its destination slot
+// (rootRank*NumTypes + type) at the intermediate level. This is the index
+// tensor handed to sparse scatter operations; it is derived from InstOffset,
+// demonstrating that the omitted Dst2 array is recoverable.
+func (h *HDG) InstanceSlots() []int32 {
+	out := make([]int32, h.NumInstances())
+	for slot := 0; slot < len(h.InstOffset)-1; slot++ {
+		for i := h.InstOffset[slot]; i < h.InstOffset[slot+1]; i++ {
+			out[i] = int32(slot)
+		}
+	}
+	return out
+}
+
+// LeafVertexSet returns the deduplicated set of leaf vertices referenced by
+// this HDG, which is exactly the set of features the owning partition needs
+// (locally or via synchronisation) to aggregate.
+func (h *HDG) LeafVertexSet() []graph.VertexID {
+	seen := make(map[graph.VertexID]struct{})
+	for _, v := range h.LeafIDs {
+		seen[v] = struct{}{}
+	}
+	out := make([]graph.VertexID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumBytes returns the memory footprint of the compact storage (Table 5's
+// numerator): InstOffset + LeafOffset + LeafIDs + Roots, plus the single
+// shared schema tree.
+func (h *HDG) NumBytes() int64 {
+	b := int64(len(h.InstOffset))*4 + int64(len(h.LeafOffset))*4 +
+		int64(len(h.LeafIDs))*4 + int64(len(h.Roots))*4
+	for _, t := range h.Schema.Types {
+		b += int64(len(t))
+	}
+	return b
+}
+
+// NumBytesNaive returns what a plain per-level CSC representation without
+// §4.1's optimisations would cost: the Dst2 array materialised (one entry
+// per instance), per-root physical schema trees, and an explicit instance
+// destination array at the bottom level. Used by the storage ablation
+// bench.
+func (h *HDG) NumBytesNaive() int64 {
+	b := h.NumBytes()
+	b += int64(h.NumInstances()) * 4 // materialised Dst2
+	// One schema tree copy per root: root vertex + one node per type.
+	b += int64(h.NumRoots()) * int64(1+h.NumTypes()) * 4
+	return b
+}

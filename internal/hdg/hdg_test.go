@@ -1,0 +1,260 @@
+package hdg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// magnnRecords reproduces the paper's Fig. 3c HDG(A): root A with metapath
+// instances p1 = (A,D,C) of type MP1 and p2..p5 of type MP2.
+func magnnRecords() (*SchemaTree, []graph.VertexID, []Record) {
+	schema := NewSchemaTree("MP1", "MP2")
+	const A, B, C, D, E, F, G, H, I = 0, 1, 2, 3, 4, 5, 6, 7, 8
+	roots := []graph.VertexID{A}
+	recs := []Record{
+		{Root: A, Nei: []graph.VertexID{A, D, C}, Type: 0}, // p1
+		{Root: A, Nei: []graph.VertexID{A, E, B}, Type: 1}, // p2
+		{Root: A, Nei: []graph.VertexID{A, F, G}, Type: 1}, // p3
+		{Root: A, Nei: []graph.VertexID{A, H, G}, Type: 1}, // p4
+		{Root: A, Nei: []graph.VertexID{A, H, I}, Type: 1}, // p5
+	}
+	_ = []int{B, I}
+	return schema, roots, recs
+}
+
+func TestBuildMAGNNExample(t *testing.T) {
+	schema, roots, recs := magnnRecords()
+	h, err := Build(schema, roots, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumRoots() != 1 || h.NumTypes() != 2 || h.NumInstances() != 5 {
+		t.Fatalf("roots=%d types=%d instances=%d", h.NumRoots(), h.NumTypes(), h.NumInstances())
+	}
+	if h.IsFlat() {
+		t.Fatal("MAGNN HDG must not be flat")
+	}
+	// Paper: A has 1 instance of MP1 and 4 of MP2.
+	if lo, hi := h.Instances(0, 0); hi-lo != 1 {
+		t.Fatalf("MP1 instances = %d", hi-lo)
+	}
+	if lo, hi := h.Instances(0, 1); hi-lo != 4 {
+		t.Fatalf("MP2 instances = %d", hi-lo)
+	}
+	// Instance 0 is p1 with leaves (A, D, C).
+	leaves := h.Leaves(0)
+	want := []graph.VertexID{0, 3, 2}
+	for i := range want {
+		if leaves[i] != want[i] {
+			t.Fatalf("p1 leaves = %v", leaves)
+		}
+	}
+	if h.InstanceType(0) != 0 || h.InstanceType(1) != 1 || h.InstanceType(4) != 1 {
+		t.Fatal("instance types wrong")
+	}
+	if h.InstanceRoot(3) != 0 {
+		t.Fatal("instance root wrong")
+	}
+}
+
+func TestBuildFlat(t *testing.T) {
+	schema := NewSchemaTree("vertex")
+	roots := []graph.VertexID{10, 20}
+	recs := []Record{
+		{Root: 20, Nei: []graph.VertexID{1}, Type: 0},
+		{Root: 10, Nei: []graph.VertexID{2}, Type: 0},
+		{Root: 10, Nei: []graph.VertexID{3}, Type: 0},
+	}
+	h, err := Build(schema, roots, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.IsFlat() {
+		t.Fatal("single-vertex neighbors must produce a flat HDG")
+	}
+	if h.LeafOffset != nil {
+		t.Fatal("flat HDG must omit LeafOffset")
+	}
+	// Root 10 (rank 0) has instances {2,3}; root 20 (rank 1) has {1}.
+	if lo, hi := h.Instances(0, 0); hi-lo != 2 {
+		t.Fatalf("root 10 instances = %d", hi-lo)
+	}
+	got := map[graph.VertexID]bool{}
+	lo, hi := h.Instances(0, 0)
+	for i := lo; i < hi; i++ {
+		got[h.Leaves(int(i))[0]] = true
+	}
+	if !got[2] || !got[3] {
+		t.Fatalf("root 10 leaves = %v", got)
+	}
+}
+
+func TestBuildRejectsBadRecords(t *testing.T) {
+	schema := NewSchemaTree("vertex")
+	if _, err := Build(schema, []graph.VertexID{1}, []Record{{Root: 2, Nei: []graph.VertexID{0}, Type: 0}}); err == nil {
+		t.Fatal("unknown root must error")
+	}
+	if _, err := Build(schema, []graph.VertexID{1}, []Record{{Root: 1, Nei: []graph.VertexID{0}, Type: 5}}); err == nil {
+		t.Fatal("bad type must error")
+	}
+	if _, err := Build(schema, []graph.VertexID{1}, []Record{{Root: 1, Type: 0}}); err == nil {
+		t.Fatal("empty leaves must error")
+	}
+	if _, err := Build(schema, []graph.VertexID{1, 1}, nil); err == nil {
+		t.Fatal("duplicate roots must error")
+	}
+}
+
+func TestInstanceSlotsMatchOffsets(t *testing.T) {
+	schema, roots, recs := magnnRecords()
+	h, _ := Build(schema, roots, recs)
+	slots := h.InstanceSlots()
+	if len(slots) != 5 {
+		t.Fatalf("len(slots) = %d", len(slots))
+	}
+	// Instance 0 -> slot 0 (root 0, MP1); instances 1..4 -> slot 1.
+	if slots[0] != 0 {
+		t.Fatalf("slots[0] = %d", slots[0])
+	}
+	for i := 1; i < 5; i++ {
+		if slots[i] != 1 {
+			t.Fatalf("slots[%d] = %d", i, slots[i])
+		}
+	}
+}
+
+func TestLeafVertexSet(t *testing.T) {
+	schema, roots, recs := magnnRecords()
+	h, _ := Build(schema, roots, recs)
+	set := h.LeafVertexSet()
+	// Leaves: A,B,C,D,E,F,G,H,I appear across p1..p5 = {0,1,2,3,4,5,6,7,8}.
+	if len(set) != 9 {
+		t.Fatalf("LeafVertexSet = %v", set)
+	}
+	for i := 1; i < len(set); i++ {
+		if set[i-1] >= set[i] {
+			t.Fatal("LeafVertexSet must be sorted and deduplicated")
+		}
+	}
+}
+
+func TestCompactBeatsNaive(t *testing.T) {
+	schema, roots, recs := magnnRecords()
+	h, _ := Build(schema, roots, recs)
+	if h.NumBytes() >= h.NumBytesNaive() {
+		t.Fatalf("compact %d >= naive %d", h.NumBytes(), h.NumBytesNaive())
+	}
+}
+
+func TestSchemaTree(t *testing.T) {
+	s := NewSchemaTree("MP1", "MP2")
+	if s.IsFlat() || s.NumTypes() != 2 {
+		t.Fatal("2-type schema must not be flat")
+	}
+	if s.TypeIndex("MP2") != 1 || s.TypeIndex("nope") != -1 {
+		t.Fatal("TypeIndex wrong")
+	}
+	if !NewSchemaTree("vertex").IsFlat() {
+		t.Fatal("1-type schema must be flat")
+	}
+}
+
+// Property: for random record sets, every record is recoverable from the
+// built HDG under the (root, type) grouping, and InstanceSlots agrees with
+// InstanceRoot/InstanceType.
+func TestBuildRoundTripQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		numRoots := 1 + rng.Intn(6)
+		T := 1 + rng.Intn(3)
+		types := make([]string, T)
+		for i := range types {
+			types[i] = string(rune('a' + i))
+		}
+		schema := NewSchemaTree(types...)
+		roots := make([]graph.VertexID, numRoots)
+		for i := range roots {
+			roots[i] = graph.VertexID(i * 10)
+		}
+		var recs []Record
+		wantCount := make(map[[2]int]int)
+		for i := 0; i < rng.Intn(20); i++ {
+			r := rng.Intn(numRoots)
+			ty := rng.Intn(T)
+			nLeaves := 1 + rng.Intn(4)
+			nei := make([]graph.VertexID, nLeaves)
+			for j := range nei {
+				nei[j] = graph.VertexID(rng.Intn(100))
+			}
+			recs = append(recs, Record{Root: roots[r], Nei: nei, Type: ty})
+			wantCount[[2]int{r, ty}]++
+		}
+		h, err := Build(schema, roots, recs)
+		if err != nil {
+			return false
+		}
+		if h.NumInstances() != len(recs) {
+			return false
+		}
+		for r := 0; r < numRoots; r++ {
+			for ty := 0; ty < T; ty++ {
+				lo, hi := h.Instances(r, ty)
+				if int(hi-lo) != wantCount[[2]int{r, ty}] {
+					return false
+				}
+				for i := lo; i < hi; i++ {
+					if h.InstanceRoot(int(i)) != r || h.InstanceType(int(i)) != ty {
+						return false
+					}
+				}
+			}
+		}
+		slots := h.InstanceSlots()
+		for i := range slots {
+			if int(slots[i]) != h.InstanceRoot(i)*T+h.InstanceType(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyHDG(t *testing.T) {
+	schema := NewSchemaTree("vertex")
+	h, err := Build(schema, []graph.VertexID{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumInstances() != 0 {
+		t.Fatalf("instances = %d", h.NumInstances())
+	}
+	if lo, hi := h.Instances(0, 0); lo != hi {
+		t.Fatal("empty root must have empty instance range")
+	}
+	if len(h.InstanceSlots()) != 0 || len(h.LeafVertexSet()) != 0 {
+		t.Fatal("empty HDG must have no slots or leaves")
+	}
+	if h.NumBytes() <= 0 {
+		t.Fatal("even empty HDGs carry offset arrays")
+	}
+}
+
+func TestRootRankLookup(t *testing.T) {
+	schema := NewSchemaTree("vertex")
+	h, err := Build(schema, []graph.VertexID{5, 9}, []Record{{Root: 9, Nei: []graph.VertexID{5}, Type: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := h.RootRank(9); !ok || r != 1 {
+		t.Fatalf("RootRank(9) = %d, %v", r, ok)
+	}
+	if _, ok := h.RootRank(7); ok {
+		t.Fatal("unknown root must not be found")
+	}
+}

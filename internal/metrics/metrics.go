@@ -1,0 +1,138 @@
+// Package metrics provides the stage timers and traffic counters used by
+// the evaluation harness: per-stage wall-clock breakdowns (the paper's
+// Table 4) and message/byte counters for the communication optimisations
+// (§5, Fig. 15).
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one phase of a training epoch.
+type Stage int
+
+// Stages of a NAU epoch. NeighborSelection, Aggregation and Update are the
+// three NAU stages of the paper's Fig. 4; Backward and Sync cover autograd
+// and distributed feature synchronisation.
+const (
+	StageNeighborSelection Stage = iota
+	StageAggregation
+	StageUpdate
+	StageBackward
+	StageSync
+	numStages
+)
+
+// String returns the stage name as printed in Table 4.
+func (s Stage) String() string {
+	switch s {
+	case StageNeighborSelection:
+		return "Nbr.Selection"
+	case StageAggregation:
+		return "Aggregation"
+	case StageUpdate:
+		return "Update"
+	case StageBackward:
+		return "Backward"
+	case StageSync:
+		return "Sync"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// Breakdown accumulates per-stage durations and communication counters. It
+// is safe for concurrent use.
+type Breakdown struct {
+	mu    sync.Mutex
+	times [numStages]time.Duration
+
+	MessagesSent atomic.Int64
+	BytesSent    atomic.Int64
+}
+
+// Add accumulates d into stage s.
+func (b *Breakdown) Add(s Stage, d time.Duration) {
+	b.mu.Lock()
+	b.times[s] += d
+	b.mu.Unlock()
+}
+
+// Time runs fn and accumulates its duration into stage s.
+func (b *Breakdown) Time(s Stage, fn func()) {
+	start := time.Now()
+	fn()
+	b.Add(s, time.Since(start))
+}
+
+// Get returns the accumulated duration of stage s.
+func (b *Breakdown) Get(s Stage) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.times[s]
+}
+
+// Total returns the sum over all stages.
+func (b *Breakdown) Total() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var t time.Duration
+	for _, d := range b.times {
+		t += d
+	}
+	return t
+}
+
+// NAUTotal returns the sum of the three NAU stages only, the denominator of
+// Table 4's percentages.
+func (b *Breakdown) NAUTotal() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.times[StageNeighborSelection] + b.times[StageAggregation] + b.times[StageUpdate]
+}
+
+// Merge adds other's counters into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	other.mu.Lock()
+	times := other.times
+	other.mu.Unlock()
+	b.mu.Lock()
+	for i := range b.times {
+		b.times[i] += times[i]
+	}
+	b.mu.Unlock()
+	b.MessagesSent.Add(other.MessagesSent.Load())
+	b.BytesSent.Add(other.BytesSent.Load())
+}
+
+// Reset zeroes all counters.
+func (b *Breakdown) Reset() {
+	b.mu.Lock()
+	for i := range b.times {
+		b.times[i] = 0
+	}
+	b.mu.Unlock()
+	b.MessagesSent.Store(0)
+	b.BytesSent.Store(0)
+}
+
+// Table4Row formats the NAU-stage breakdown like the paper's Table 4:
+// absolute seconds and percentage of the NAU total per stage.
+func (b *Breakdown) Table4Row(model string) string {
+	total := b.NAUTotal()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s", model)
+	for _, s := range []Stage{StageNeighborSelection, StageAggregation, StageUpdate} {
+		d := b.Get(s)
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(d) / float64(total)
+		}
+		fmt.Fprintf(&sb, "  %s %8.3fs (%5.1f%%)", s, d.Seconds(), pct)
+	}
+	return sb.String()
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAndGet(t *testing.T) {
+	var b Breakdown
+	b.Add(StageAggregation, time.Second)
+	b.Add(StageAggregation, time.Second)
+	if b.Get(StageAggregation) != 2*time.Second {
+		t.Fatalf("Get = %v", b.Get(StageAggregation))
+	}
+	if b.Get(StageUpdate) != 0 {
+		t.Fatal("untouched stage must be zero")
+	}
+}
+
+func TestTimeMeasures(t *testing.T) {
+	var b Breakdown
+	b.Time(StageUpdate, func() { time.Sleep(5 * time.Millisecond) })
+	if b.Get(StageUpdate) < 4*time.Millisecond {
+		t.Fatalf("Time measured %v", b.Get(StageUpdate))
+	}
+}
+
+func TestTotalsAndNAUTotal(t *testing.T) {
+	var b Breakdown
+	b.Add(StageNeighborSelection, time.Second)
+	b.Add(StageAggregation, 2*time.Second)
+	b.Add(StageUpdate, 3*time.Second)
+	b.Add(StageBackward, 10*time.Second)
+	if b.NAUTotal() != 6*time.Second {
+		t.Fatalf("NAUTotal = %v", b.NAUTotal())
+	}
+	if b.Total() != 16*time.Second {
+		t.Fatalf("Total = %v", b.Total())
+	}
+}
+
+func TestMergeAndReset(t *testing.T) {
+	var a, b Breakdown
+	a.Add(StageSync, time.Second)
+	a.MessagesSent.Add(3)
+	a.BytesSent.Add(100)
+	b.Add(StageSync, 2*time.Second)
+	b.MessagesSent.Add(1)
+	b.Merge(&a)
+	if b.Get(StageSync) != 3*time.Second || b.MessagesSent.Load() != 4 || b.BytesSent.Load() != 100 {
+		t.Fatalf("merge wrong: %v %d %d", b.Get(StageSync), b.MessagesSent.Load(), b.BytesSent.Load())
+	}
+	b.Reset()
+	if b.Total() != 0 || b.MessagesSent.Load() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestTable4Row(t *testing.T) {
+	var b Breakdown
+	b.Add(StageNeighborSelection, time.Second)
+	b.Add(StageAggregation, time.Second)
+	b.Add(StageUpdate, 2*time.Second)
+	row := b.Table4Row("GCN")
+	if !strings.Contains(row, "GCN") || !strings.Contains(row, "25.0%") || !strings.Contains(row, "50.0%") {
+		t.Fatalf("Table4Row = %q", row)
+	}
+	// Zero breakdown must not divide by zero.
+	var z Breakdown
+	if !strings.Contains(z.Table4Row("x"), "0.0%") {
+		t.Fatal("zero breakdown row wrong")
+	}
+}
+
+func TestStageString(t *testing.T) {
+	names := map[Stage]string{
+		StageNeighborSelection: "Nbr.Selection",
+		StageAggregation:       "Aggregation",
+		StageUpdate:            "Update",
+		StageBackward:          "Backward",
+		StageSync:              "Sync",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	var b Breakdown
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Add(StageSync, time.Microsecond)
+				b.MessagesSent.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Get(StageSync) != 800*time.Microsecond || b.MessagesSent.Load() != 800 {
+		t.Fatalf("concurrent accumulation wrong: %v %d", b.Get(StageSync), b.MessagesSent.Load())
+	}
+}

@@ -1,0 +1,175 @@
+// Package nau implements the paper's core contribution: the NAU programming
+// abstraction (§3.2, Fig. 4). A GNN layer is expressed as three stages —
+//
+//	NeighborSelection(g, schema, nbr_udf) -> HDGs
+//	Aggregation(feas, HDGs)               -> nbr_feas
+//	Update(feas, nbr_feas)                -> feas'
+//
+// NeighborSelection runs a user-defined function per vertex to build
+// hierarchical dependency graphs; Aggregation reduces neighbor features
+// bottom-up through the HDG levels using the hybrid execution engine; and
+// Update combines each vertex's previous feature with its neighborhood
+// representation using NN operations only.
+//
+// DNFA models (direct 1-hop neighbors) return a nil schema: no HDG is built
+// and the input graph itself captures the dependencies, exactly as §7.4
+// observes for GCN. HDGs can be cached across layers and epochs per the
+// model's CachePolicy (§3.2's Discussion).
+package nau
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/hdg"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// NeighborUDF customises how a vertex retrieves its "neighbors" from the
+// graph (the paper's nbr_udf, Fig. 5). It returns one record per neighbor
+// instance.
+type NeighborUDF func(g *graph.Graph, schema *hdg.SchemaTree, v graph.VertexID, rng *tensor.RNG) []hdg.Record
+
+// CachePolicy controls when NeighborSelection re-runs (§3.2 Discussion).
+type CachePolicy int
+
+const (
+	// CachePerEpoch rebuilds HDGs once per epoch and shares them across
+	// layers — PinSage's policy (random walks differ across epochs).
+	CachePerEpoch CachePolicy = iota
+	// CacheForever builds HDGs once for the whole training run — MAGNN's
+	// policy (metapath instances never change).
+	CacheForever
+)
+
+// Layer is one GNN layer expressed in NAU.
+type Layer interface {
+	nn.Module
+	// Schema returns the layer's schema tree, or nil for DNFA layers that
+	// use the input graph directly (no HDG is built).
+	Schema() *hdg.SchemaTree
+	// NeighborUDF returns the neighbor-selection UDF; it is never called
+	// when Schema is nil.
+	NeighborUDF() NeighborUDF
+	// Aggregation computes neighborhood representations from the previous
+	// layer's features, guided by ctx's HDG (or the input graph).
+	Aggregation(ctx *Context, feats *nn.Value) *nn.Value
+	// Update combines the previous features with the neighborhood
+	// representations using NN operations.
+	Update(ctx *Context, feats, nbrFeats *nn.Value) *nn.Value
+}
+
+// BottomAggregator intercepts the bottom-level (leaf-to-instance or 1-hop)
+// aggregation. The distributed runtime installs one that partially
+// aggregates remote contributions and synchronises across workers (§5);
+// when nil, the local hybrid engine runs the level directly.
+type BottomAggregator interface {
+	AggregateBottom(adj *engine.Adjacency, feats *nn.Value, op tensor.ReduceOp) *nn.Value
+}
+
+// Context carries everything a layer's Aggregation needs: the graph, the
+// layer's HDGs, the hybrid execution engine and cached level adjacencies.
+type Context struct {
+	Graph  *graph.Graph
+	HDG    *hdg.HDG // nil for DNFA layers
+	Engine *engine.Engine
+	RNG    *tensor.RNG
+	Train  bool
+
+	// Bottom, when non-nil, replaces the engine for bottom-level
+	// aggregation (set by the distributed runtime).
+	Bottom BottomAggregator
+
+	// NumFeatureRows is the size of the feature universe leaf IDs index
+	// into (the graph's vertex count on a single machine).
+	NumFeatureRows int
+
+	graphAdj  *engine.Adjacency
+	bottomAdj *engine.Adjacency
+	flatAdj   *engine.Adjacency
+}
+
+// AggregateBottom runs the bottom-level aggregation through the installed
+// BottomAggregator, or the hybrid engine when none is installed. Models
+// should use this instead of calling the engine directly so they run
+// unchanged on a single machine and in the distributed runtime.
+func (c *Context) AggregateBottom(adj *engine.Adjacency, feats *nn.Value, op tensor.ReduceOp) *nn.Value {
+	if c.Bottom != nil {
+		return c.Bottom.AggregateBottom(adj, feats, op)
+	}
+	return c.Engine.AggregateBottom(adj, feats, op)
+}
+
+// GraphAdjacency returns the 1-hop in-edge adjacency of the input graph,
+// built lazily and cached — the DNFA aggregation level.
+func (c *Context) GraphAdjacency() *engine.Adjacency {
+	if c.graphAdj == nil {
+		c.graphAdj = engine.FromGraphInEdges(c.Graph)
+	}
+	return c.graphAdj
+}
+
+// BottomAdjacency returns the HDG's bottom-level adjacency (hierarchical
+// HDGs only), cached.
+func (c *Context) BottomAdjacency() *engine.Adjacency {
+	if c.bottomAdj == nil {
+		c.bottomAdj = engine.FromHDGBottom(c.HDG, c.NumFeatureRows)
+	}
+	return c.bottomAdj
+}
+
+// FlatAdjacency returns the flat HDG's leaf->root adjacency, cached.
+func (c *Context) FlatAdjacency() *engine.Adjacency {
+	if c.flatAdj == nil {
+		c.flatAdj = engine.FromHDGFlat(c.HDG, c.NumFeatureRows)
+	}
+	return c.flatAdj
+}
+
+// SetGraphAdjacency overrides the 1-hop adjacency; the distributed runtime
+// installs each worker's local-root view here.
+func (c *Context) SetGraphAdjacency(adj *engine.Adjacency) { c.graphAdj = adj }
+
+// InvalidateHDG replaces the context's HDG and drops cached adjacencies.
+func (c *Context) InvalidateHDG(h *hdg.HDG) {
+	c.HDG = h
+	c.bottomAdj = nil
+	c.flatAdj = nil
+}
+
+// NeighborSelection runs the UDF for every root in parallel and builds the
+// HDGs (the paper's Fig. 4 first stage). Each parallel worker gets an
+// independent RNG stream split from rng, so results are deterministic for a
+// fixed seed and worker count-independent grouping is handled by Build.
+func NeighborSelection(g *graph.Graph, schema *hdg.SchemaTree, udf NeighborUDF, roots []graph.VertexID, rng *tensor.RNG) (*hdg.HDG, error) {
+	if schema == nil || udf == nil {
+		return nil, fmt.Errorf("nau: NeighborSelection requires a schema and a UDF")
+	}
+	// Pre-split one RNG per root so parallel execution is deterministic.
+	seeds := make([]uint64, len(roots))
+	for i := range seeds {
+		seeds[i] = rng.Uint64()
+	}
+	perRoot := make([][]hdg.Record, len(roots))
+	tensor.ParallelFor(len(roots), func(s, e int) {
+		for i := s; i < e; i++ {
+			perRoot[i] = udf(g, schema, roots[i], tensor.NewRNG(seeds[i]))
+		}
+	})
+	var records []hdg.Record
+	for _, rs := range perRoot {
+		records = append(records, rs...)
+	}
+	return hdg.Build(schema, roots, records)
+}
+
+// AllVertices returns the full root set [0, n) for whole-graph training.
+func AllVertices(g *graph.Graph) []graph.VertexID {
+	roots := make([]graph.VertexID, g.NumVertices())
+	for i := range roots {
+		roots[i] = graph.VertexID(i)
+	}
+	return roots
+}

@@ -1,0 +1,184 @@
+package nau
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/hdg"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Model is a stack of NAU layers plus the model's HDG cache policy. All
+// layers of a model share one neighbor selection (the paper's Discussion in
+// §3.2: "a specific layer can directly utilize the results of previous
+// NeighborSelection stage").
+type Model struct {
+	Name   string
+	Layers []Layer
+	Cache  CachePolicy
+}
+
+// Parameters returns all layers' parameters.
+func (m *Model) Parameters() []*nn.Value {
+	var out []*nn.Value
+	for _, l := range m.Layers {
+		out = append(out, l.Parameters()...)
+	}
+	return out
+}
+
+// NeedsHDG reports whether the model builds HDGs (INFA/INHA) or uses the
+// input graph directly (DNFA).
+func (m *Model) NeedsHDG() bool {
+	return len(m.Layers) > 0 && m.Layers[0].Schema() != nil
+}
+
+// Trainer runs whole-graph single-machine training of a NAU model, timing
+// the three NAU stages for the Table-4 breakdown.
+type Trainer struct {
+	Model  *Model
+	Graph  *graph.Graph
+	Feats  *tensor.Tensor
+	Labels []int32
+	Mask   []bool
+	Engine *engine.Engine
+	Opt    nn.Optimizer
+	RNG    *tensor.RNG
+
+	// Breakdown accumulates stage timings across epochs.
+	Breakdown *metrics.Breakdown
+
+	cachedHDG *hdg.HDG
+	hdgUsed   bool // one training epoch has consumed cachedHDG
+	ctx       *Context
+	epoch     int
+}
+
+// NewTrainer wires up a trainer with an Adam optimizer and HA engine by
+// default.
+func NewTrainer(m *Model, g *graph.Graph, feats *tensor.Tensor, labels []int32, mask []bool, seed uint64) *Trainer {
+	return &Trainer{
+		Model:     m,
+		Graph:     g,
+		Feats:     feats,
+		Labels:    labels,
+		Mask:      mask,
+		Engine:    engine.New(engine.StrategyHA),
+		Opt:       nn.NewAdam(m.Parameters(), 0.01),
+		RNG:       tensor.NewRNG(seed),
+		Breakdown: &metrics.Breakdown{},
+	}
+}
+
+// ensureHDG runs NeighborSelection according to the model's cache policy.
+func (t *Trainer) ensureHDG() error {
+	if !t.Model.NeedsHDG() {
+		return nil
+	}
+	if t.cachedHDG != nil {
+		// A cached HDG is always valid until Epoch invalidates it (the
+		// CachePerEpoch policy drops it at the next epoch boundary, not
+		// here, so evaluation never rebuilds).
+		return nil
+	}
+	var h *hdg.HDG
+	var err error
+	t.Breakdown.Time(metrics.StageNeighborSelection, func() {
+		layer := t.Model.Layers[0]
+		h, err = NeighborSelection(t.Graph, layer.Schema(), layer.NeighborUDF(), AllVertices(t.Graph), t.RNG)
+	})
+	if err != nil {
+		return fmt.Errorf("nau: neighbor selection: %w", err)
+	}
+	t.cachedHDG = h
+	if t.ctx != nil {
+		t.ctx.InvalidateHDG(h)
+	}
+	return nil
+}
+
+// HDG exposes the cached HDGs (nil for DNFA models), e.g. for the Table-5
+// memory accounting.
+func (t *Trainer) HDG() *hdg.HDG { return t.cachedHDG }
+
+func (t *Trainer) context(train bool) *Context {
+	if t.ctx == nil {
+		t.ctx = &Context{
+			Graph:          t.Graph,
+			Engine:         t.Engine,
+			NumFeatureRows: t.Graph.NumVertices(),
+		}
+	}
+	t.ctx.HDG = t.cachedHDG
+	t.ctx.RNG = t.RNG
+	t.ctx.Train = train
+	return t.ctx
+}
+
+// Forward runs the model over the whole graph and returns the final-layer
+// logits, timing Aggregation and Update stages into the breakdown.
+func (t *Trainer) Forward(train bool) (*nn.Value, error) {
+	if err := t.ensureHDG(); err != nil {
+		return nil, err
+	}
+	ctx := t.context(train)
+	feats := nn.Constant(t.Feats)
+	for _, layer := range t.Model.Layers {
+		var nbr *nn.Value
+		t.Breakdown.Time(metrics.StageAggregation, func() {
+			nbr = layer.Aggregation(ctx, feats)
+		})
+		var out *nn.Value
+		t.Breakdown.Time(metrics.StageUpdate, func() {
+			out = layer.Update(ctx, feats, nbr)
+		})
+		feats = out
+	}
+	return feats, nil
+}
+
+// Epoch runs one full training epoch (neighbor selection per cache policy,
+// forward, loss, backward, optimizer step) and returns the training loss.
+func (t *Trainer) Epoch() (float32, error) {
+	t.epoch++
+	if t.Model.Cache == CachePerEpoch && t.hdgUsed {
+		t.cachedHDG = nil // force re-selection for the new epoch
+	}
+	logits, err := t.Forward(true)
+	if err != nil {
+		return 0, err
+	}
+	t.hdgUsed = true
+	loss := nn.CrossEntropy(logits, t.Labels, t.Mask)
+	t.Breakdown.Time(metrics.StageBackward, func() {
+		t.Opt.ZeroGrad()
+		loss.Backward()
+		t.Opt.Step()
+	})
+	return loss.Data.At(0, 0), nil
+}
+
+// Predict runs inference and returns the final-layer logits for every
+// vertex, for downstream tasks (vertex classification, link scoring, ...).
+func (t *Trainer) Predict() (*tensor.Tensor, error) {
+	logits, err := t.Forward(false)
+	if err != nil {
+		return nil, err
+	}
+	return logits.Data, nil
+}
+
+// Evaluate returns masked accuracy of the current parameters. A nil mask
+// evaluates all vertices.
+func (t *Trainer) Evaluate(mask []bool) (float64, error) {
+	// Evaluation must not consume the training RNG stream or drop the HDG
+	// cache; reuse whatever HDGs exist (building if needed).
+	logits, err := t.Forward(false)
+	if err != nil {
+		return 0, err
+	}
+	return nn.Accuracy(logits.Data, t.Labels, mask), nil
+}

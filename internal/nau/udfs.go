@@ -1,0 +1,96 @@
+package nau
+
+import (
+	"repro/internal/graph"
+	"repro/internal/hdg"
+	"repro/internal/tensor"
+)
+
+// This file provides the reusable neighbor-selection UDFs of the paper's
+// Fig. 5, so custom models can compose neighborhoods without re-writing the
+// graph queries: direct 1-hop neighbors (gnn_nbr), random-walk top-k
+// neighbors (pinsage_nbr) and metapath instances (magnn_nbr), plus the
+// anchor-set and per-hop selections used by the §3.2 extension models.
+
+// OneHopUDF returns every out-neighbor of v as a flat single-vertex
+// neighbor — the paper's gnn_nbr. (DNFA models normally skip HDGs entirely
+// by returning a nil schema; this UDF exists for models that want explicit
+// flat HDGs over 1-hop neighborhoods.)
+func OneHopUDF() NeighborUDF {
+	return func(g *graph.Graph, _ *hdg.SchemaTree, v graph.VertexID, _ *tensor.RNG) []hdg.Record {
+		adj := g.OutNeighbors(v)
+		recs := make([]hdg.Record, len(adj))
+		for i, u := range adj {
+			recs[i] = hdg.Record{Root: v, Nei: []graph.VertexID{u}, Type: 0}
+		}
+		return recs
+	}
+}
+
+// RandomWalkUDF returns the top-k most visited vertices over numWalks
+// random walks of the given hop count — the paper's pinsage_nbr.
+func RandomWalkUDF(numWalks, hops, topK int) NeighborUDF {
+	return func(g *graph.Graph, _ *hdg.SchemaTree, v graph.VertexID, rng *tensor.RNG) []hdg.Record {
+		top := g.TopKVisited(rng, v, numWalks, hops, topK)
+		recs := make([]hdg.Record, len(top))
+		for i, u := range top {
+			recs[i] = hdg.Record{Root: v, Nei: []graph.VertexID{u}, Type: 0}
+		}
+		return recs
+	}
+}
+
+// MetapathUDF returns every metapath instance rooted at v, typed by its
+// metapath's index in paths — the paper's magnn_nbr. maxInstances bounds
+// the search per (vertex, metapath); 0 means unlimited.
+func MetapathUDF(paths []graph.Metapath, maxInstances int) NeighborUDF {
+	return func(g *graph.Graph, _ *hdg.SchemaTree, v graph.VertexID, _ *tensor.RNG) []hdg.Record {
+		var recs []hdg.Record
+		for t, mp := range paths {
+			for _, inst := range g.MetapathInstances(v, mp, maxInstances) {
+				recs = append(recs, hdg.Record{Root: v, Nei: inst, Type: t})
+			}
+		}
+		return recs
+	}
+}
+
+// AnchorSetUDF returns one record per pre-sampled anchor set — P-GNN's
+// neighborhood (§3.2).
+func AnchorSetUDF(anchors [][]graph.VertexID) NeighborUDF {
+	return func(_ *graph.Graph, _ *hdg.SchemaTree, v graph.VertexID, _ *tensor.RNG) []hdg.Record {
+		recs := make([]hdg.Record, len(anchors))
+		for i, set := range anchors {
+			recs[i] = hdg.Record{Root: v, Nei: set, Type: i}
+		}
+		return recs
+	}
+}
+
+// HopFrontierUDF returns one record per BFS hop frontier up to hops —
+// JK-Net's neighborhood (§3.2): the i-th "neighbor" holds the vertices at
+// shortest-path distance exactly i+1.
+func HopFrontierUDF(hops int) NeighborUDF {
+	return func(g *graph.Graph, _ *hdg.SchemaTree, v graph.VertexID, _ *tensor.RNG) []hdg.Record {
+		var recs []hdg.Record
+		visited := map[graph.VertexID]bool{v: true}
+		frontier := []graph.VertexID{v}
+		for h := 1; h <= hops; h++ {
+			var next []graph.VertexID
+			for _, u := range frontier {
+				for _, w := range g.OutNeighbors(u) {
+					if !visited[w] {
+						visited[w] = true
+						next = append(next, w)
+					}
+				}
+			}
+			if len(next) == 0 {
+				break
+			}
+			recs = append(recs, hdg.Record{Root: v, Nei: append([]graph.VertexID(nil), next...), Type: h - 1})
+			frontier = next
+		}
+		return recs
+	}
+}

@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// This file implements parameter checkpointing — the role of the paper's
+// fault-tolerance module (Fig. 12): model state can be written to durable
+// storage at epoch boundaries and training resumed from the last
+// checkpoint after a failure.
+//
+// Format (little-endian): magic "FGCK" | uint32 version | uint32 numParams
+// | per parameter: uint32 dims | dims×uint32 shape | count×float32 data.
+
+const (
+	checkpointMagic   = "FGCK"
+	checkpointVersion = 1
+)
+
+// SaveParams writes the parameters' tensors to w in checkpoint format.
+func SaveParams(w io.Writer, params []*Value) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return err
+	}
+	u32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := u32(checkpointVersion); err != nil {
+		return err
+	}
+	if err := u32(uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		shape := p.Data.Shape()
+		if err := u32(uint32(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := u32(uint32(d)); err != nil {
+				return err
+			}
+		}
+		for _, v := range p.Data.Data() {
+			if err := u32(math.Float32bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParams reads a checkpoint from r into params, which must have the
+// same count and shapes as when saved.
+func LoadParams(r io.Reader, params []*Value) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %q", magic)
+	}
+	u32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	version, err := u32()
+	if err != nil {
+		return err
+	}
+	if version != checkpointVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", version)
+	}
+	count, err := u32()
+	if err != nil {
+		return err
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", count, len(params))
+	}
+	for i, p := range params {
+		dims, err := u32()
+		if err != nil {
+			return err
+		}
+		want := p.Data.Shape()
+		if int(dims) != len(want) {
+			return fmt.Errorf("nn: parameter %d has %d dims in checkpoint, want %d", i, dims, len(want))
+		}
+		n := 1
+		for j := 0; j < int(dims); j++ {
+			d, err := u32()
+			if err != nil {
+				return err
+			}
+			if int(d) != want[j] {
+				return fmt.Errorf("nn: parameter %d dim %d is %d in checkpoint, want %d", i, j, d, want[j])
+			}
+			n *= int(d)
+		}
+		data := p.Data.Data()
+		for j := 0; j < n; j++ {
+			bits, err := u32()
+			if err != nil {
+				return err
+			}
+			data[j] = math.Float32frombits(bits)
+		}
+	}
+	return nil
+}
+
+// SaveCheckpoint writes params to path atomically (temp file + rename).
+func SaveCheckpoint(path string, params []*Value) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := SaveParams(f, params); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpoint reads params from path.
+func LoadCheckpoint(path string, params []*Value) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadParams(f, params)
+}
+
+// ParamsEqual reports whether two parameter lists hold identical tensors,
+// used by resume tests.
+func ParamsEqual(a, b []*Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Data.ApproxEqual(b[i].Data, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,19 @@
+package nn
+
+import "repro/internal/tensor"
+
+// NewOp builds a Value from a custom differentiable operation. data is the
+// forward result; backward, invoked during the backward pass with the
+// output node (whose Grad is populated), must push gradients into the
+// parents via AccumGrad. backward is dropped when no parent requires grad.
+//
+// This is the extension point the execution engine uses to register its
+// fused aggregation kernels with autograd, mirroring how the paper's
+// libgrape-lite operations "have to be registered in PyTorch" (§6).
+func NewOp(data *tensor.Tensor, backward func(out *Value), parents ...*Value) *Value {
+	return newResult(data, backward, parents...)
+}
+
+// AccumGrad adds grad into v's gradient accumulator (a no-op for nodes that
+// do not require grad). For use by custom operations built with NewOp.
+func AccumGrad(v *Value, grad *tensor.Tensor) { v.accumGrad(grad) }

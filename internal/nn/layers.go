@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Module is anything holding trainable parameters.
+type Module interface {
+	Parameters() []*Value
+}
+
+// Linear is a fully connected layer: y = x @ W + b.
+type Linear struct {
+	W *Value // [in, out]
+	B *Value // [1, out], nil when bias is disabled
+}
+
+// NewLinear returns a Linear layer with Xavier/Glorot-uniform initialised
+// weights and zero bias.
+func NewLinear(in, out int, bias bool, rng *tensor.RNG) *Linear {
+	bound := float32(math.Sqrt(6.0 / float64(in+out)))
+	l := &Linear{W: Param(tensor.RandUniform(rng, -bound, bound, in, out))}
+	if bias {
+		l.B = Param(tensor.New(1, out))
+	}
+	return l
+}
+
+// Forward applies the layer to x of shape [n, in].
+func (l *Linear) Forward(x *Value) *Value {
+	y := MatMul(x, l.W)
+	if l.B != nil {
+		y = Add(y, l.B)
+	}
+	return y
+}
+
+// Parameters returns the trainable parameters.
+func (l *Linear) Parameters() []*Value {
+	if l.B == nil {
+		return []*Value{l.W}
+	}
+	return []*Value{l.W, l.B}
+}
+
+// CollectParams flattens the parameters of several modules.
+func CollectParams(mods ...Module) []*Value {
+	var out []*Value
+	for _, m := range mods {
+		out = append(out, m.Parameters()...)
+	}
+	return out
+}
+
+// NumParams counts the scalar parameters across values.
+func NumParams(params []*Value) int {
+	n := 0
+	for _, p := range params {
+		n += p.Data.Len()
+	}
+	return n
+}

@@ -1,0 +1,381 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// MatMul returns a @ b with gradients dA = dOut @ bᵀ and dB = aᵀ @ dOut.
+func MatMul(a, b *Value) *Value {
+	return newResult(a.Data.MatMul(b.Data), func(out *Value) {
+		a.accumGrad(out.Grad.MatMulT(b.Data))
+		b.accumGrad(a.Data.TMatMul(out.Grad))
+	}, a, b)
+}
+
+// Add returns a + b elementwise; b may be a [1, C] bias row broadcast over
+// a's rows, in which case its gradient is the column sum of dOut.
+func Add(a, b *Value) *Value {
+	return newResult(a.Data.Add(b.Data), func(out *Value) {
+		a.accumGrad(out.Grad)
+		if b.Data.SameShape(a.Data) {
+			b.accumGrad(out.Grad)
+		} else {
+			b.accumGrad(out.Grad.SumRows())
+		}
+	}, a, b)
+}
+
+// Sub returns a - b elementwise (no broadcasting).
+func Sub(a, b *Value) *Value {
+	return newResult(a.Data.Sub(b.Data), func(out *Value) {
+		a.accumGrad(out.Grad)
+		b.accumGrad(out.Grad.Scale(-1))
+	}, a, b)
+}
+
+// Mul returns the elementwise product.
+func Mul(a, b *Value) *Value {
+	return newResult(a.Data.Mul(b.Data), func(out *Value) {
+		a.accumGrad(out.Grad.Mul(b.Data))
+		b.accumGrad(out.Grad.Mul(a.Data))
+	}, a, b)
+}
+
+// Scale returns c*a.
+func Scale(a *Value, c float32) *Value {
+	return newResult(a.Data.Scale(c), func(out *Value) {
+		a.accumGrad(out.Grad.Scale(c))
+	}, a)
+}
+
+// ReLU returns max(a, 0).
+func ReLU(a *Value) *Value {
+	return newResult(a.Data.ReLU(), func(out *Value) {
+		a.accumGrad(out.Grad.Mul(a.Data.ReLUMask()))
+	}, a)
+}
+
+// Tanh returns tanh(a).
+func Tanh(a *Value) *Value {
+	data := a.Data.Tanh()
+	return newResult(data, func(out *Value) {
+		g := tensor.New(data.Shape()...)
+		gd, od, dd := g.Data(), out.Grad.Data(), data.Data()
+		for i := range gd {
+			gd[i] = od[i] * (1 - dd[i]*dd[i])
+		}
+		a.accumGrad(g)
+	}, a)
+}
+
+// Sigmoid returns 1/(1+exp(-a)) with gradient σ·(1-σ).
+func Sigmoid(a *Value) *Value {
+	data := a.Data.Sigmoid()
+	return newResult(data, func(out *Value) {
+		g := tensor.New(data.Shape()...)
+		gd, od, dd := g.Data(), out.Grad.Data(), data.Data()
+		for i := range gd {
+			gd[i] = od[i] * dd[i] * (1 - dd[i])
+		}
+		a.accumGrad(g)
+	}, a)
+}
+
+// Concat concatenates along dimension 1; the backward pass splits dOut back
+// into the inputs' column ranges.
+func Concat(vs ...*Value) *Value {
+	datas := make([]*tensor.Tensor, len(vs))
+	widths := make([]int, len(vs))
+	for i, v := range vs {
+		datas[i] = v.Data
+		widths[i] = v.Data.Dim(1)
+	}
+	return newResult(tensor.Concat(datas...), func(out *Value) {
+		parts := out.Grad.SplitCols(widths...)
+		for i, v := range vs {
+			v.accumGrad(parts[i])
+		}
+	}, vs...)
+}
+
+// Reshape returns a view with a new shape; gradients are reshaped back.
+func Reshape(a *Value, shape ...int) *Value {
+	return newResult(a.Data.Reshape(shape...), func(out *Value) {
+		a.accumGrad(out.Grad.Reshape(a.Data.Shape()...))
+	}, a)
+}
+
+// Gather selects rows of src: out.Row(i) = src.Row(index[i]). Gradients
+// scatter-add back to the selected rows.
+func Gather(src *Value, index []int32) *Value {
+	return newResult(tensor.Gather(src.Data, index), func(out *Value) {
+		src.accumGrad(tensor.ScatterAdd(out.Grad, index, src.Data.Rows()))
+	}, src)
+}
+
+// ScatterAdd sums rows of values into numOut groups given by index; the
+// gradient of values row i is dOut row index[i].
+func ScatterAdd(values *Value, index []int32, numOut int) *Value {
+	return newResult(tensor.ScatterAdd(values.Data, index, numOut), func(out *Value) {
+		values.accumGrad(tensor.Gather(out.Grad, index))
+	}, values)
+}
+
+// ScatterMean averages rows of values per group; the gradient of values row
+// i is dOut row index[i] divided by the group size.
+func ScatterMean(values *Value, index []int32, numOut int) *Value {
+	counts := tensor.ScatterCounts(index, numOut)
+	return newResult(tensor.ScatterMean(values.Data, index, numOut), func(out *Value) {
+		g := tensor.Gather(out.Grad, index)
+		c := g.Cols()
+		gd := g.Data()
+		for i, dst := range index {
+			inv := float32(1) / float32(counts[dst])
+			tensor.ScaleUnrolled(gd[i*c:(i+1)*c], inv)
+		}
+		values.accumGrad(g)
+	}, values)
+}
+
+// ScatterMax takes the elementwise max per group; gradients flow only to the
+// winning row for each output element.
+func ScatterMax(values *Value, index []int32, numOut int) *Value {
+	data, argmax := scatterMaxWithArg(values.Data, index, numOut)
+	return newResult(data, func(out *Value) {
+		g := tensor.New(values.Data.Shape()...)
+		c := g.Cols()
+		gd, od := g.Data(), out.Grad.Data()
+		for r := 0; r < numOut; r++ {
+			for j := 0; j < c; j++ {
+				src := argmax[r*c+j]
+				if src >= 0 {
+					gd[int(src)*c+j] += od[r*c+j]
+				}
+			}
+		}
+		values.accumGrad(g)
+	}, values)
+}
+
+// ScatterMin takes the elementwise min per group; gradients flow only to
+// the winning row for each output element.
+func ScatterMin(values *Value, index []int32, numOut int) *Value {
+	data, argmin := scatterExtremeWithArg(values.Data, index, numOut, false)
+	return newResult(data, func(out *Value) {
+		g := tensor.New(values.Data.Shape()...)
+		c := g.Cols()
+		gd, od := g.Data(), out.Grad.Data()
+		for r := 0; r < numOut; r++ {
+			for j := 0; j < c; j++ {
+				if src := argmin[r*c+j]; src >= 0 {
+					gd[int(src)*c+j] += od[r*c+j]
+				}
+			}
+		}
+		values.accumGrad(g)
+	}, values)
+}
+
+func scatterMaxWithArg(values *tensor.Tensor, index []int32, numOut int) (*tensor.Tensor, []int32) {
+	return scatterExtremeWithArg(values, index, numOut, true)
+}
+
+func scatterExtremeWithArg(values *tensor.Tensor, index []int32, numOut int, max bool) (*tensor.Tensor, []int32) {
+	c := values.Cols()
+	out := tensor.New(numOut, c)
+	argmax := make([]int32, numOut*c)
+	for i := range argmax {
+		argmax[i] = -1
+	}
+	vd, od := values.Data(), out.Data()
+	for i, dst := range index {
+		if dst < 0 || int(dst) >= numOut {
+			panic(fmt.Sprintf("nn: scatter index %d out of range [0,%d)", dst, numOut))
+		}
+		base := int(dst) * c
+		for j := 0; j < c; j++ {
+			v := vd[i*c+j]
+			better := v > od[base+j]
+			if !max {
+				better = v < od[base+j]
+			}
+			if argmax[base+j] < 0 || better {
+				od[base+j] = v
+				argmax[base+j] = int32(i)
+			}
+		}
+	}
+	return out, argmax
+}
+
+// ScatterSoftmax normalises rows within index groups column-wise; see
+// tensor.ScatterSoftmax. The backward pass applies the softmax Jacobian per
+// group and column: dV = S ⊙ (dOut - Σ_group S ⊙ dOut).
+func ScatterSoftmax(values *Value, index []int32, numOut int) *Value {
+	data := tensor.ScatterSoftmax(values.Data, index, numOut)
+	return newResult(data, func(out *Value) {
+		c := data.Cols()
+		// inner[g][j] = Σ_{i in group g} S[i][j] * dOut[i][j]
+		inner := tensor.New(numOut, c)
+		sd, od, id := data.Data(), out.Grad.Data(), inner.Data()
+		for i, dst := range index {
+			base := int(dst) * c
+			for j := 0; j < c; j++ {
+				id[base+j] += sd[i*c+j] * od[i*c+j]
+			}
+		}
+		g := tensor.New(values.Data.Shape()...)
+		gd := g.Data()
+		for i, dst := range index {
+			base := int(dst) * c
+			for j := 0; j < c; j++ {
+				gd[i*c+j] = sd[i*c+j] * (od[i*c+j] - id[base+j])
+			}
+		}
+		values.accumGrad(g)
+	}, values)
+}
+
+// ReduceMiddle reduces a [N, G, D] value to [N, D]; see
+// tensor.Tensor.ReduceMiddle. Sum, mean and max are differentiable (max
+// routes gradients to the winning group per element, JK-Net's max-pooling
+// combiner).
+func ReduceMiddle(a *Value, op tensor.ReduceOp) *Value {
+	if op == tensor.ReduceMax {
+		return reduceMiddleMax(a)
+	}
+	if op != tensor.ReduceSum && op != tensor.ReduceMean {
+		panic("nn: ReduceMiddle supports sum, mean and max only")
+	}
+	g := a.Data.Dim(1)
+	return newResult(a.Data.ReduceMiddle(op), func(out *Value) {
+		n, d := a.Data.Dim(0), a.Data.Dim(2)
+		grad := tensor.New(n, g, d)
+		scale := float32(1)
+		if op == tensor.ReduceMean {
+			scale = 1 / float32(g)
+		}
+		gd, od := grad.Data(), out.Grad.Data()
+		for i := 0; i < n; i++ {
+			for j := 0; j < g; j++ {
+				base := (i*g + j) * d
+				for k := 0; k < d; k++ {
+					gd[base+k] = od[i*d+k] * scale
+				}
+			}
+		}
+		a.accumGrad(grad)
+	}, a)
+}
+
+// MulBroadcast multiplies each row of feats [n, d] by the scalar in the
+// corresponding row of col [n, 1]. Gradients flow to both: dCol[i] is the
+// dot product of dOut row i with feats row i, and dFeats is dOut scaled by
+// col. Used to apply per-instance attention weights across feature columns.
+func MulBroadcast(col, feats *Value) *Value {
+	if col.Data.Dim(1) != 1 || col.Data.Rows() != feats.Data.Rows() {
+		panic(fmt.Sprintf("nn: MulBroadcast col %v vs feats %v", col.Data.Shape(), feats.Data.Shape()))
+	}
+	n, d := feats.Data.Rows(), feats.Data.Dim(1)
+	out := tensor.New(n, d)
+	od, cd, fd := out.Data(), col.Data.Data(), feats.Data.Data()
+	tensor.ParallelFor(n, func(s, e int) {
+		for i := s; i < e; i++ {
+			a := cd[i]
+			for j := 0; j < d; j++ {
+				od[i*d+j] = a * fd[i*d+j]
+			}
+		}
+	})
+	return newResult(out, func(outV *Value) {
+		gd := outV.Grad.Data()
+		gc := tensor.New(n, 1)
+		gf := tensor.New(n, d)
+		gcd, gfd := gc.Data(), gf.Data()
+		tensor.ParallelFor(n, func(s, e int) {
+			for i := s; i < e; i++ {
+				a := cd[i]
+				var dot float32
+				for j := 0; j < d; j++ {
+					g := gd[i*d+j]
+					dot += g * fd[i*d+j]
+					gfd[i*d+j] = g * a
+				}
+				gcd[i] = dot
+			}
+		})
+		col.accumGrad(gc)
+		feats.accumGrad(gf)
+	}, col, feats)
+}
+
+// SpMM computes a @ x for a sparse CSR matrix a and dense x. at must be
+// aᵀ (also CSR); the gradient of x is aᵀ @ dOut. The matrix itself is not
+// differentiable. This is the sparse-dense matrix multiplication the
+// PyTorch GCN baseline builds on (§7.1).
+func SpMM(a, at *tensor.CSR, x *Value) *Value {
+	return newResult(a.SpMM(x.Data), func(out *Value) {
+		x.accumGrad(at.SpMM(out.Grad))
+	}, x)
+}
+
+func reduceMiddleMax(a *Value) *Value {
+	n, g, d := a.Data.Dim(0), a.Data.Dim(1), a.Data.Dim(2)
+	out := tensor.New(n, d)
+	argmax := make([]int32, n*d)
+	ad, od := a.Data.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		base := i * g * d
+		copy(od[i*d:(i+1)*d], ad[base:base+d])
+		for j := 1; j < g; j++ {
+			for k := 0; k < d; k++ {
+				if v := ad[base+j*d+k]; v > od[i*d+k] {
+					od[i*d+k] = v
+					argmax[i*d+k] = int32(j)
+				}
+			}
+		}
+	}
+	return newResult(out, func(outV *Value) {
+		grad := tensor.New(n, g, d)
+		gd, ogd := grad.Data(), outV.Grad.Data()
+		for i := 0; i < n; i++ {
+			for k := 0; k < d; k++ {
+				j := int(argmax[i*d+k])
+				gd[i*g*d+j*d+k] = ogd[i*d+k]
+			}
+		}
+		a.accumGrad(grad)
+	}, a)
+}
+
+// MeanAll reduces a to its scalar mean, shape [1,1].
+func MeanAll(a *Value) *Value {
+	data := tensor.FromSlice([]float32{a.Data.Mean()}, 1, 1)
+	return newResult(data, func(out *Value) {
+		g := tensor.Full(out.Grad.Data()[0]/float32(a.Data.Len()), a.Data.Shape()...)
+		a.accumGrad(g)
+	}, a)
+}
+
+// Dropout zeroes each element with probability p during training and scales
+// survivors by 1/(1-p). With train=false it is the identity.
+func Dropout(a *Value, p float32, train bool, rng *tensor.RNG) *Value {
+	if !train || p <= 0 {
+		return a
+	}
+	mask := tensor.New(a.Data.Shape()...)
+	md := mask.Data()
+	keep := 1 - p
+	inv := 1 / keep
+	for i := range md {
+		if rng.Float32() < keep {
+			md[i] = inv
+		}
+	}
+	return newResult(a.Data.Mul(mask), func(out *Value) {
+		a.accumGrad(out.Grad.Mul(mask))
+	}, a)
+}

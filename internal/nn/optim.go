@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the current gradients.
+	Step()
+	// ZeroGrad clears all parameter gradients.
+	ZeroGrad()
+}
+
+// SGD is plain stochastic gradient descent with optional L2 weight decay.
+type SGD struct {
+	Params      []*Value
+	LR          float32
+	WeightDecay float32
+}
+
+// NewSGD returns an SGD optimizer over params.
+func NewSGD(params []*Value, lr float32) *SGD {
+	return &SGD{Params: params, LR: lr}
+}
+
+// Step applies p -= lr * (grad + wd*p).
+func (o *SGD) Step() {
+	for _, p := range o.Params {
+		if p.Grad == nil {
+			continue
+		}
+		if o.WeightDecay != 0 {
+			p.Grad.AddScaledInPlace(p.Data, o.WeightDecay)
+		}
+		p.Data.AddScaledInPlace(p.Grad, -o.LR)
+	}
+}
+
+// ZeroGrad clears all gradients.
+func (o *SGD) ZeroGrad() {
+	for _, p := range o.Params {
+		p.ZeroGrad()
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	Params      []*Value
+	LR          float32
+	Beta1       float32
+	Beta2       float32
+	Eps         float32
+	WeightDecay float32
+
+	t int
+	m []*tensor.Tensor
+	v []*tensor.Tensor
+}
+
+// NewAdam returns an Adam optimizer with the usual defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(params []*Value, lr float32) *Adam {
+	a := &Adam{Params: params, LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Data.Shape()...)
+		a.v[i] = tensor.New(p.Data.Shape()...)
+	}
+	return a
+}
+
+// Step applies one Adam update.
+func (o *Adam) Step() {
+	o.t++
+	bc1 := 1 - float32(math.Pow(float64(o.Beta1), float64(o.t)))
+	bc2 := 1 - float32(math.Pow(float64(o.Beta2), float64(o.t)))
+	for i, p := range o.Params {
+		if p.Grad == nil {
+			continue
+		}
+		g := p.Grad.Data()
+		if o.WeightDecay != 0 {
+			pd := p.Data.Data()
+			for j := range g {
+				g[j] += o.WeightDecay * pd[j]
+			}
+		}
+		md, vd, pd := o.m[i].Data(), o.v[i].Data(), p.Data.Data()
+		for j := range g {
+			md[j] = o.Beta1*md[j] + (1-o.Beta1)*g[j]
+			vd[j] = o.Beta2*vd[j] + (1-o.Beta2)*g[j]*g[j]
+			mhat := md[j] / bc1
+			vhat := vd[j] / bc2
+			pd[j] -= o.LR * mhat / (float32(math.Sqrt(float64(vhat))) + o.Eps)
+		}
+	}
+}
+
+// ZeroGrad clears all gradients.
+func (o *Adam) ZeroGrad() {
+	for _, p := range o.Params {
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,137 @@
+// Package nn implements the neural-network runtime of FlexGraph-Go: a
+// reverse-mode autograd tape over the tensor package, the layers needed by
+// the paper's Update stages (Linear, ReLU, concat), differentiable versions
+// of the scatter/gather aggregation primitives so whole GNN models train
+// end-to-end, cross-entropy loss, and the SGD and Adam optimizers.
+//
+// It plays the role PyTorch plays in the paper's architecture (Fig. 12): the
+// NN framework underneath the GNN execution engine.
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// Value is a node in the autograd graph: a tensor plus the bookkeeping
+// needed to backpropagate through the operation that produced it.
+type Value struct {
+	Data *tensor.Tensor
+	Grad *tensor.Tensor
+
+	requiresGrad bool
+	prev         []*Value
+	backward     func() // accumulates into prev nodes' Grad
+	label        string
+}
+
+// NewValue wraps t as a leaf node. If requiresGrad is true the node
+// accumulates gradients during Backward.
+func NewValue(t *tensor.Tensor, requiresGrad bool) *Value {
+	return &Value{Data: t, requiresGrad: requiresGrad}
+}
+
+// Constant wraps t as a non-differentiable leaf.
+func Constant(t *tensor.Tensor) *Value { return NewValue(t, false) }
+
+// Param wraps t as a trainable leaf.
+func Param(t *tensor.Tensor) *Value { return NewValue(t, true) }
+
+// RequiresGrad reports whether the node participates in backprop.
+func (v *Value) RequiresGrad() bool { return v.requiresGrad }
+
+// Shape returns the shape of the wrapped tensor.
+func (v *Value) Shape() []int { return v.Data.Shape() }
+
+// Label attaches a debug label and returns v.
+func (v *Value) Label(s string) *Value {
+	v.label = s
+	return v
+}
+
+// newResult builds an interior node whose gradient flows to prev. The node
+// requires grad iff any parent does; backward is dropped entirely otherwise
+// so inference-only graphs cost nothing extra.
+func newResult(data *tensor.Tensor, backward func(out *Value), prev ...*Value) *Value {
+	out := &Value{Data: data, prev: prev}
+	for _, p := range prev {
+		if p.requiresGrad {
+			out.requiresGrad = true
+			break
+		}
+	}
+	if out.requiresGrad && backward != nil {
+		out.backward = func() { backward(out) }
+	}
+	return out
+}
+
+// accumGrad adds g into v.Grad, allocating it on first use. Nodes that do
+// not require grad ignore the call.
+func (v *Value) accumGrad(g *tensor.Tensor) {
+	if !v.requiresGrad {
+		return
+	}
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Data.Shape()...)
+	}
+	v.Grad.AddInPlace(g)
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (v *Value) ZeroGrad() {
+	if v.Grad != nil {
+		v.Grad.Zero()
+	}
+}
+
+// Backward runs reverse-mode differentiation from v, which must be a scalar
+// (1x1) unless seed is supplied. The gradient of v w.r.t. itself is 1.
+func (v *Value) Backward() {
+	if v.Data.Len() != 1 {
+		panic("nn: Backward on non-scalar; use BackwardWith for custom seeds")
+	}
+	v.BackwardWith(tensor.Ones(v.Data.Shape()...))
+}
+
+// BackwardWith seeds the backward pass with dOut and propagates gradients to
+// every reachable leaf that requires grad.
+func (v *Value) BackwardWith(dOut *tensor.Tensor) {
+	order := topoSort(v)
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Data.Shape()...)
+	}
+	v.Grad.AddInPlace(dOut)
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.backward != nil && n.Grad != nil {
+			n.backward()
+		}
+	}
+}
+
+func topoSort(root *Value) []*Value {
+	var order []*Value
+	visited := make(map[*Value]bool)
+	// Iterative DFS to avoid stack overflow on deep graphs.
+	type frame struct {
+		node *Value
+		next int
+	}
+	stack := []frame{{root, 0}}
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.node.prev) {
+			child := f.node.prev[f.next]
+			f.next++
+			if !visited[child] && child.requiresGrad {
+				visited[child] = true
+				stack = append(stack, frame{child, 0})
+			}
+			continue
+		}
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}

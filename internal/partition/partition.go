@@ -1,0 +1,156 @@
+// Package partition implements the graph partitioning used for distributed
+// training (§5, §6): classical Hash partitioning, a PuLP-style label
+// propagation partitioner, and FlexGraph's application-driven balancer ADB,
+// which learns a polynomial cost model of the GNN's per-root training cost
+// and migrates HDGs from overloaded to underloaded partitions along BFS
+// locality, choosing among candidate plans by induced-graph edge cut.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Partitioning assigns each vertex to one of K parts.
+type Partitioning struct {
+	K      int
+	Assign []int32
+}
+
+// NewPartitioning returns an all-zeros assignment over n vertices.
+func NewPartitioning(k, n int) *Partitioning {
+	if k <= 0 {
+		panic("partition: k must be positive")
+	}
+	return &Partitioning{K: k, Assign: make([]int32, n)}
+}
+
+// Clone deep-copies the partitioning.
+func (p *Partitioning) Clone() *Partitioning {
+	return &Partitioning{K: p.K, Assign: append([]int32(nil), p.Assign...)}
+}
+
+// Parts returns the vertex lists per part.
+func (p *Partitioning) Parts() [][]graph.VertexID {
+	out := make([][]graph.VertexID, p.K)
+	for v, part := range p.Assign {
+		out[part] = append(out[part], graph.VertexID(v))
+	}
+	return out
+}
+
+// Sizes returns the vertex count per part.
+func (p *Partitioning) Sizes() []int {
+	out := make([]int, p.K)
+	for _, part := range p.Assign {
+		out[part]++
+	}
+	return out
+}
+
+// Loads sums cost[v] per part.
+func (p *Partitioning) Loads(cost []float64) []float64 {
+	out := make([]float64, p.K)
+	for v, part := range p.Assign {
+		out[part] += cost[v]
+	}
+	return out
+}
+
+// BalanceFactor returns max/mean of the per-part loads; 1.0 is perfectly
+// balanced.
+func BalanceFactor(loads []float64) float64 {
+	var sum, max float64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := sum / float64(len(loads))
+	return max / mean
+}
+
+// EdgeCut counts edges of g whose endpoints live in different parts.
+func EdgeCut(g *graph.Graph, p *Partitioning) int64 {
+	var cut int64
+	for v := 0; v < g.NumVertices(); v++ {
+		pv := p.Assign[v]
+		for _, u := range g.OutNeighbors(graph.VertexID(v)) {
+			if p.Assign[u] != pv {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// Hash assigns vertex v to part v mod k — the classical baseline (§6).
+func Hash(n, k int) *Partitioning {
+	p := NewPartitioning(k, n)
+	for v := range p.Assign {
+		p.Assign[v] = int32(v % k)
+	}
+	return p
+}
+
+// LabelProp is a PuLP-style label-propagation partitioner: vertices start
+// from a hash assignment and iteratively adopt the most common part among
+// their neighbors, subject to a vertex-count capacity of slack × (n/k).
+// It minimises edge cut and balances *vertex counts* — which, as §7.6
+// shows, can leave the GNN *training cost* badly skewed.
+func LabelProp(g *graph.Graph, k, iters int, slack float64, seed uint64) *Partitioning {
+	n := g.NumVertices()
+	p := Hash(n, k)
+	if slack <= 0 {
+		slack = 1.1
+	}
+	capacity := int(slack * float64(n) / float64(k))
+	sizes := p.Sizes()
+	rng := tensor.NewRNG(seed)
+	counts := make([]int, k)
+	for it := 0; it < iters; it++ {
+		moved := 0
+		order := rng.Perm(n)
+		for _, v := range order {
+			for i := range counts {
+				counts[i] = 0
+			}
+			for _, u := range g.OutNeighbors(graph.VertexID(v)) {
+				counts[p.Assign[u]]++
+			}
+			cur := p.Assign[v]
+			best := cur
+			for part := int32(0); part < int32(k); part++ {
+				if part == cur {
+					continue
+				}
+				if counts[part] > counts[best] && sizes[part] < capacity {
+					best = part
+				}
+			}
+			if best != cur {
+				sizes[cur]--
+				sizes[best]++
+				p.Assign[v] = best
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	return p
+}
+
+// validateCost panics unless cost has one entry per assignment slot.
+func validateCost(p *Partitioning, cost []float64) {
+	if len(cost) != len(p.Assign) {
+		panic(fmt.Sprintf("partition: cost length %d != vertex count %d", len(cost), len(p.Assign)))
+	}
+}

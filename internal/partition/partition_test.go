@@ -1,0 +1,300 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/hdg"
+	"repro/internal/tensor"
+)
+
+func TestHashBalanced(t *testing.T) {
+	p := Hash(100, 4)
+	sizes := p.Sizes()
+	for _, s := range sizes {
+		if s != 25 {
+			t.Fatalf("hash sizes = %v", sizes)
+		}
+	}
+}
+
+func TestPartsRoundTrip(t *testing.T) {
+	p := Hash(10, 3)
+	parts := p.Parts()
+	total := 0
+	for part, vs := range parts {
+		total += len(vs)
+		for _, v := range vs {
+			if p.Assign[v] != int32(part) {
+				t.Fatal("Parts disagrees with Assign")
+			}
+		}
+	}
+	if total != 10 {
+		t.Fatalf("parts cover %d of 10", total)
+	}
+}
+
+func TestBalanceFactor(t *testing.T) {
+	if got := BalanceFactor([]float64{1, 1, 1, 1}); got != 1 {
+		t.Fatalf("uniform balance = %v", got)
+	}
+	if got := BalanceFactor([]float64{3, 1}); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("skewed balance = %v", got)
+	}
+}
+
+func TestEdgeCut(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(0, 2)
+	g := b.Build()
+	p := NewPartitioning(2, 4)
+	p.Assign = []int32{0, 0, 1, 1}
+	if got := EdgeCut(g, p); got != 1 {
+		t.Fatalf("EdgeCut = %d, want 1 (only 0->2 crosses)", got)
+	}
+}
+
+func TestLabelPropReducesCut(t *testing.T) {
+	d := dataset.RedditLike(dataset.Config{Scale: 0.1, Seed: 1})
+	g := d.Graph
+	hash := Hash(g.NumVertices(), 4)
+	lp := LabelProp(g, 4, 5, 1.2, 2)
+	if EdgeCut(g, lp) >= EdgeCut(g, hash) {
+		t.Fatalf("label propagation should reduce edge cut: lp=%d hash=%d",
+			EdgeCut(g, lp), EdgeCut(g, hash))
+	}
+	// Capacity respected.
+	capacity := int(1.2 * float64(g.NumVertices()) / 4)
+	for _, s := range lp.Sizes() {
+		if s > capacity+1 {
+			t.Fatalf("capacity violated: %v > %d", s, capacity)
+		}
+	}
+}
+
+func TestFitCostModelRecoversLinear(t *testing.T) {
+	// Synthetic: cost = 2 + 3*x1 + 0.5*x2.
+	rng := tensor.NewRNG(3)
+	var samples []CostSample
+	for i := 0; i < 200; i++ {
+		x1, x2 := rng.Float64()*10, rng.Float64()*10
+		samples = append(samples, CostSample{
+			Features: []float64{x1, x2},
+			Cost:     2 + 3*x1 + 0.5*x2,
+		})
+	}
+	m := FitCostModel(samples, 2)
+	if math.Abs(m.Coef[0]-2) > 0.05 || math.Abs(m.Coef[1]-3) > 0.05 || math.Abs(m.Coef[2]-0.5) > 0.05 {
+		t.Fatalf("recovered coefficients %v, want [2 3 0.5]", m.Coef)
+	}
+	if got := m.Predict([]float64{1, 2}); math.Abs(got-6) > 0.1 {
+		t.Fatalf("Predict = %v, want 6", got)
+	}
+}
+
+func TestFitCostModelNoisy(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	var samples []CostSample
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 10
+		noise := (rng.Float64() - 0.5) * 0.2
+		samples = append(samples, CostSample{Features: []float64{x}, Cost: 5*x + noise})
+	}
+	m := FitCostModel(samples, 1)
+	if math.Abs(m.Coef[1]-5) > 0.1 {
+		t.Fatalf("noisy fit slope = %v, want ~5", m.Coef[1])
+	}
+}
+
+// buildFig11Setup reproduces the paper's §5 example: partition #1 holds
+// {B,C,D,E} with cost 60, partition #2 holds {A,F,G,H,I} with cost 600.
+func buildFig11Setup() (*graph.Graph, *Partitioning, []float64) {
+	// Induced graph of the MAGNN HDGs (Fig. 11b): connect each root to its
+	// metapath-instance leaf vertices.
+	// A(0) B(1) C(2) D(3) E(4) F(5) G(6) H(7) I(8).
+	schema := hdg.NewSchemaTree("MP1", "MP2")
+	recs := []hdg.Record{
+		// HDG(A): p1..p5 (Fig. 11a).
+		{Root: 0, Nei: []graph.VertexID{0, 3, 2}, Type: 0},
+		{Root: 0, Nei: []graph.VertexID{0, 4, 1}, Type: 1},
+		{Root: 0, Nei: []graph.VertexID{0, 5, 6}, Type: 1},
+		{Root: 0, Nei: []graph.VertexID{0, 7, 6}, Type: 1},
+		{Root: 0, Nei: []graph.VertexID{0, 7, 8}, Type: 1},
+		// HDG(B): one instance (B,E,A) (Fig. 11a bottom left).
+		{Root: 1, Nei: []graph.VertexID{1, 4, 0}, Type: 0},
+		// HDG(G): (G,H,I), (G,H,A), (G,F,A) style instances.
+		{Root: 6, Nei: []graph.VertexID{6, 7, 8}, Type: 1},
+		{Root: 6, Nei: []graph.VertexID{6, 7, 0}, Type: 1},
+		{Root: 6, Nei: []graph.VertexID{6, 5, 0}, Type: 1},
+		// HDG(I): (I,H,A), (I,H,G).
+		{Root: 8, Nei: []graph.VertexID{8, 7, 0}, Type: 1},
+		{Root: 8, Nei: []graph.VertexID{8, 7, 6}, Type: 1},
+	}
+	roots := []graph.VertexID{0, 1, 6, 8}
+	h, err := hdg.Build(schema, roots, recs)
+	if err != nil {
+		panic(err)
+	}
+	induced := InducedGraph(h, 9)
+	p := NewPartitioning(2, 9)
+	//            A  B  C  D  E  F  G  H  I
+	p.Assign = []int32{1, 0, 0, 0, 0, 1, 1, 1, 1}
+	// Costs follow the paper: f(partition #1) = 60 (vertex B), f(#2) = 600
+	// (A=500-ish dominates; G and I contribute the rest).
+	cost := []float64{300, 60, 0, 0, 0, 0, 180, 0, 120}
+	return induced, p, cost
+}
+
+func TestADBTriggersOnlyAboveThreshold(t *testing.T) {
+	induced, p, _ := buildFig11Setup()
+	// Partition #1 holds {B,C,D,E} (cost 20), #2 holds {A,F,G,H,I}
+	// (cost 20): perfectly balanced.
+	balanced := []float64{20, 10, 5, 5, 0, 0, 0, 0, 0}
+	a := DefaultADB()
+	if got := a.Rebalance(induced, p, balanced); got != p {
+		t.Fatal("balanced loads must not trigger migration")
+	}
+}
+
+func TestADBImprovesBalance(t *testing.T) {
+	induced, p, cost := buildFig11Setup()
+	a := DefaultADB()
+	before := BalanceFactor(p.Loads(cost))
+	got := a.Rebalance(induced, p, cost)
+	after := BalanceFactor(got.Loads(cost))
+	if after >= before {
+		t.Fatalf("ADB did not improve balance: %v -> %v", before, after)
+	}
+}
+
+func TestADBOnSkewedDatasetBeatsStaticPartitioners(t *testing.T) {
+	// The Fig. 15a shape: per-root GNN cost is skewed on power-law graphs,
+	// so cost balance under ADB beats Hash and LabelProp.
+	d := dataset.FB91Like(dataset.Config{Scale: 0.05, Seed: 5})
+	g := d.Graph
+	n := g.NumVertices()
+	// Per-root cost proportional to degree² (2-hop aggregation work).
+	cost := make([]float64, n)
+	for v := 0; v < n; v++ {
+		deg := float64(g.OutDegree(graph.VertexID(v)))
+		cost[v] = 1 + deg*deg
+	}
+	k := 4
+	hash := Hash(n, k)
+	lp := LabelProp(g, k, 5, 1.2, 6)
+	a := DefaultADB()
+	adb := a.Rebalance(g, hash.Clone(), cost)
+
+	bHash := BalanceFactor(hash.Loads(cost))
+	bLP := BalanceFactor(lp.Loads(cost))
+	bADB := BalanceFactor(adb.Loads(cost))
+	if bADB >= bHash {
+		t.Fatalf("ADB balance %v must beat Hash %v", bADB, bHash)
+	}
+	if bADB >= bLP {
+		t.Fatalf("ADB balance %v must beat LabelProp %v", bADB, bLP)
+	}
+}
+
+func TestInducedGraphConnectsRootsToLeaves(t *testing.T) {
+	schema := hdg.NewSchemaTree("t")
+	recs := []hdg.Record{{Root: 0, Nei: []graph.VertexID{0, 2, 3}, Type: 0}}
+	h, err := hdg.Build(schema, []graph.VertexID{0}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := InducedGraph(h, 4)
+	if !g.HasEdge(0, 2) || !g.HasEdge(0, 3) || !g.HasEdge(2, 0) {
+		t.Fatal("induced graph missing root-leaf edges")
+	}
+	if g.HasEdge(0, 0) || g.HasEdge(2, 3) {
+		t.Fatal("induced graph has spurious edges")
+	}
+}
+
+// Property: Rebalance never loses or duplicates vertices and keeps
+// assignments in range.
+func TestRebalanceAssignmentValidQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 10 + rng.Intn(50)
+		k := 2 + rng.Intn(3)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*2; i++ {
+			b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+		}
+		g := b.Build()
+		p := Hash(n, k)
+		cost := make([]float64, n)
+		for i := range cost {
+			cost[i] = rng.Float64() * 10
+		}
+		a := &ADB{Threshold: 1.01, NumPlans: 3, Seed: seed}
+		got := a.Rebalance(g, p, cost)
+		if len(got.Assign) != n {
+			return false
+		}
+		for _, part := range got.Assign {
+			if part < 0 || int(part) >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHDGCostFeaturesMAGNNExample(t *testing.T) {
+	// The paper's §5 example: for vertex A in MAGNN with feature dim 20,
+	// n1=1, n2=4, m1=m2=60 (3 vertices × 20), so f = n1·m1 + n2·m2 = 300.
+	schema := hdg.NewSchemaTree("MP1", "MP2")
+	recs := []hdg.Record{
+		{Root: 0, Nei: []graph.VertexID{0, 3, 2}, Type: 0},
+		{Root: 0, Nei: []graph.VertexID{0, 4, 1}, Type: 1},
+		{Root: 0, Nei: []graph.VertexID{0, 5, 6}, Type: 1},
+		{Root: 0, Nei: []graph.VertexID{0, 7, 6}, Type: 1},
+		{Root: 0, Nei: []graph.VertexID{0, 7, 8}, Type: 1},
+	}
+	h, err := hdg.Build(schema, []graph.VertexID{0}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := HDGCostFeatures(h, 20)
+	if len(feats) != 1 || len(feats[0]) != 2 {
+		t.Fatalf("features shape wrong: %v", feats)
+	}
+	// n1·m1 = 1·60 = 60; n2·m2 = 4·60 = 240.
+	if feats[0][0] != 60 || feats[0][1] != 240 {
+		t.Fatalf("features = %v, want [60 240]", feats[0])
+	}
+	if feats[0][0]+feats[0][1] != 300 {
+		t.Fatal("total should match the paper's f(A) = 300")
+	}
+}
+
+func TestLabelPropDeterministic(t *testing.T) {
+	d := dataset.RedditLike(dataset.Config{Scale: 0.05, Seed: 20})
+	a := LabelProp(d.Graph, 4, 3, 1.2, 7)
+	b := LabelProp(d.Graph, 4, 3, 1.2, 7)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("LabelProp must be deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestEdgeCutSinglePartition(t *testing.T) {
+	d := dataset.RedditLike(dataset.Config{Scale: 0.02, Seed: 21})
+	p := Hash(d.Graph.NumVertices(), 1)
+	if EdgeCut(d.Graph, p) != 0 {
+		t.Fatal("one partition cuts no edges")
+	}
+}

@@ -1,0 +1,118 @@
+// Package rpc provides the message-passing layer of FlexGraph-Go's
+// shared-nothing runtime (the paper's "MPI controller", Fig. 12): a compact
+// binary codec for feature-synchronisation messages, plus two transports —
+// an in-process loopback for single-binary clusters and tests, and a TCP
+// transport with length-prefixed frames for real multi-process training.
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// MsgKind tags the payload type of a Message.
+type MsgKind uint8
+
+// Message kinds exchanged between workers.
+const (
+	// KindFeatures carries raw feature rows (vertex IDs + row data) — the
+	// unoptimised synchronisation path.
+	KindFeatures MsgKind = iota + 1
+	// KindPartials carries partially aggregated per-task vectors plus
+	// contribution counts — the §5 partial-aggregation path.
+	KindPartials
+	// KindGrads carries flattened parameter gradients for all-reduce.
+	KindGrads
+	// KindBarrier synchronises epoch/layer boundaries.
+	KindBarrier
+)
+
+// Message is one unit of worker-to-worker communication.
+type Message struct {
+	Kind  MsgKind
+	From  int32
+	Layer int32
+	Epoch int32
+	// IDs are vertex IDs (KindFeatures) or task IDs (KindPartials).
+	IDs []int32
+	// Counts holds per-task contribution counts (KindPartials only).
+	Counts []int32
+	// Data holds row-major float32 payload.
+	Data []float32
+	// Dim is the row width of Data.
+	Dim int32
+}
+
+// NumBytes returns the encoded size, used by traffic accounting.
+func (m *Message) NumBytes() int64 {
+	return int64(1+4+4+4+4+4+4+4) + int64(len(m.IDs))*4 + int64(len(m.Counts))*4 + int64(len(m.Data))*4
+}
+
+// Encode serialises m into a fresh buffer (little-endian, length-prefixed
+// sections).
+func (m *Message) Encode() []byte {
+	buf := make([]byte, 0, m.NumBytes())
+	buf = append(buf, byte(m.Kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.From))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Layer))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Epoch))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.IDs)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Counts)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Data)))
+	for _, v := range m.IDs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	for _, v := range m.Counts {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	for _, v := range m.Data {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf
+}
+
+// Decode parses a buffer produced by Encode.
+func Decode(buf []byte) (*Message, error) {
+	const header = 1 + 4*7
+	if len(buf) < header {
+		return nil, fmt.Errorf("rpc: message too short (%d bytes)", len(buf))
+	}
+	m := &Message{Kind: MsgKind(buf[0])}
+	u32 := func(off int) uint32 { return binary.LittleEndian.Uint32(buf[off:]) }
+	m.From = int32(u32(1))
+	m.Layer = int32(u32(5))
+	m.Epoch = int32(u32(9))
+	m.Dim = int32(u32(13))
+	nIDs := int(u32(17))
+	nCounts := int(u32(21))
+	nData := int(u32(25))
+	want := header + 4*(nIDs+nCounts+nData)
+	if len(buf) != want {
+		return nil, fmt.Errorf("rpc: message length %d, want %d", len(buf), want)
+	}
+	off := header
+	if nIDs > 0 {
+		m.IDs = make([]int32, nIDs)
+		for i := range m.IDs {
+			m.IDs[i] = int32(u32(off))
+			off += 4
+		}
+	}
+	if nCounts > 0 {
+		m.Counts = make([]int32, nCounts)
+		for i := range m.Counts {
+			m.Counts[i] = int32(u32(off))
+			off += 4
+		}
+	}
+	if nData > 0 {
+		m.Data = make([]float32, nData)
+		for i := range m.Data {
+			m.Data[i] = math.Float32frombits(u32(off))
+			off += 4
+		}
+	}
+	return m, nil
+}

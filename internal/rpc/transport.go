@@ -1,0 +1,294 @@
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Transport moves encoded messages between the workers of one cluster.
+// Send must be safe for concurrent use; Recv delivers messages addressed to
+// this worker in arrival order.
+type Transport interface {
+	// Rank returns this worker's index.
+	Rank() int
+	// Size returns the number of workers.
+	Size() int
+	// Send delivers msg to worker `to`.
+	Send(to int, msg *Message) error
+	// Recv blocks for the next incoming message.
+	Recv() (*Message, error)
+	// Close tears the transport down; blocked Recv calls return an error.
+	Close() error
+}
+
+// ---------------------------------------------------------------------------
+// Loopback: in-process transport over channels.
+
+// LoopbackNetwork connects k in-process workers through buffered channels.
+type LoopbackNetwork struct {
+	inboxes []chan *Message
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// NewLoopbackNetwork returns a network of size workers.
+func NewLoopbackNetwork(size int) *LoopbackNetwork {
+	n := &LoopbackNetwork{
+		inboxes: make([]chan *Message, size),
+		closed:  make(chan struct{}),
+	}
+	for i := range n.inboxes {
+		n.inboxes[i] = make(chan *Message, 1024)
+	}
+	return n
+}
+
+// Transport returns the endpoint for the given worker rank.
+func (n *LoopbackNetwork) Transport(rank int) Transport {
+	return &loopback{net: n, rank: rank}
+}
+
+// Close shuts the network down.
+func (n *LoopbackNetwork) Close() {
+	n.once.Do(func() { close(n.closed) })
+}
+
+type loopback struct {
+	net  *LoopbackNetwork
+	rank int
+}
+
+func (l *loopback) Rank() int { return l.rank }
+func (l *loopback) Size() int { return len(l.net.inboxes) }
+
+func (l *loopback) Send(to int, msg *Message) error {
+	if to < 0 || to >= len(l.net.inboxes) {
+		return fmt.Errorf("rpc: send to unknown worker %d", to)
+	}
+	// Encode/decode round trip so loopback exercises the same codec as
+	// TCP and byte accounting is identical.
+	dup, err := Decode(msg.Encode())
+	if err != nil {
+		return err
+	}
+	select {
+	case l.net.inboxes[to] <- dup:
+		return nil
+	case <-l.net.closed:
+		return fmt.Errorf("rpc: network closed")
+	}
+}
+
+func (l *loopback) Recv() (*Message, error) {
+	select {
+	case m := <-l.net.inboxes[l.rank]:
+		return m, nil
+	case <-l.net.closed:
+		// Drain any message racing with close.
+		select {
+		case m := <-l.net.inboxes[l.rank]:
+			return m, nil
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+func (l *loopback) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// TCP: length-prefixed frames over real sockets.
+
+// TCPTransport is a fully connected mesh: worker i listens on addrs[i] and
+// dials every peer. Frames are 4-byte little-endian length + encoded
+// message.
+type TCPTransport struct {
+	rank  int
+	addrs []string
+
+	ln    net.Listener
+	conns []net.Conn
+	wmu   []sync.Mutex
+	inbox chan *Message
+	errs  chan error
+	done  chan struct{}
+	once  sync.Once
+}
+
+// NewTCPTransport starts worker rank of a mesh over addrs. It listens
+// immediately; Connect must be called on all workers (concurrently) to
+// establish the mesh.
+func NewTCPTransport(rank int, addrs []string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen %s: %w", addrs[rank], err)
+	}
+	t := &TCPTransport{
+		rank:  rank,
+		addrs: addrs,
+		ln:    ln,
+		conns: make([]net.Conn, len(addrs)),
+		wmu:   make([]sync.Mutex, len(addrs)),
+		inbox: make(chan *Message, 1024),
+		errs:  make(chan error, len(addrs)),
+		done:  make(chan struct{}),
+	}
+	return t, nil
+}
+
+// Addr returns the transport's actual listen address (useful with ":0").
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// Connect establishes the mesh: dials peers with rank > self and accepts
+// connections from peers with rank < self. Every connection starts with a
+// 4-byte hello carrying the dialer's rank.
+func (t *TCPTransport) Connect() error {
+	var wg sync.WaitGroup
+	errc := make(chan error, len(t.addrs))
+	// Accept from lower ranks.
+	expect := t.rank
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < expect; i++ {
+			conn, err := t.ln.Accept()
+			if err != nil {
+				errc <- err
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				errc <- err
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hello[:]))
+			t.conns[peer] = conn
+			go t.readLoop(conn)
+		}
+	}()
+	// Dial higher ranks.
+	for peer := t.rank + 1; peer < len(t.addrs); peer++ {
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", t.addrs[peer])
+			if err != nil {
+				errc <- fmt.Errorf("rpc: dial %s: %w", t.addrs[peer], err)
+				return
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(t.rank))
+			if _, err := conn.Write(hello[:]); err != nil {
+				errc <- err
+				return
+			}
+			t.conns[peer] = conn
+			go t.readLoop(conn)
+		}(peer)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 1<<16)
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			select {
+			case <-t.done:
+			default:
+				t.errs <- err
+			}
+			return
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(r, frame); err != nil {
+			t.errs <- err
+			return
+		}
+		msg, err := Decode(frame)
+		if err != nil {
+			t.errs <- err
+			return
+		}
+		select {
+		case t.inbox <- msg:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// Rank returns this worker's index.
+func (t *TCPTransport) Rank() int { return t.rank }
+
+// Size returns the mesh size.
+func (t *TCPTransport) Size() int { return len(t.addrs) }
+
+// Send writes a frame to the peer's connection.
+func (t *TCPTransport) Send(to int, msg *Message) error {
+	if to == t.rank {
+		select {
+		case t.inbox <- msg:
+			return nil
+		case <-t.done:
+			return io.EOF
+		}
+	}
+	conn := t.conns[to]
+	if conn == nil {
+		return fmt.Errorf("rpc: no connection to worker %d", to)
+	}
+	frame := msg.Encode()
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+	t.wmu[to].Lock()
+	defer t.wmu[to].Unlock()
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(frame)
+	return err
+}
+
+// Recv blocks for the next message or transport error.
+func (t *TCPTransport) Recv() (*Message, error) {
+	select {
+	case m := <-t.inbox:
+		return m, nil
+	case err := <-t.errs:
+		return nil, err
+	case <-t.done:
+		return nil, io.EOF
+	}
+}
+
+// Close shuts down the listener and all connections.
+func (t *TCPTransport) Close() error {
+	t.once.Do(func() {
+		close(t.done)
+		t.ln.Close()
+		for _, c := range t.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+	return nil
+}
+
+var (
+	_ Transport = (*loopback)(nil)
+	_ Transport = (*TCPTransport)(nil)
+)

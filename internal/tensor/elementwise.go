@@ -1,0 +1,207 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns t + o elementwise. Shapes must match, except that o may be a
+// row vector [1, C] broadcast across t's rows.
+func (t *Tensor) Add(o *Tensor) *Tensor {
+	out := t.Clone()
+	out.AddInPlace(o)
+	return out
+}
+
+// AddInPlace adds o into t, with row-vector broadcasting as in Add.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	if t.SameShape(o) {
+		AddUnrolled(t.data, o.data)
+		return
+	}
+	if o.Dims() == 2 && o.Dim(0) == 1 && o.Dim(1) == t.Cols() {
+		c := t.Cols()
+		for r := 0; r < t.Rows(); r++ {
+			AddUnrolled(t.data[r*c:(r+1)*c], o.data)
+		}
+		return
+	}
+	panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", t.shape, o.shape))
+}
+
+// Sub returns t - o elementwise.
+func (t *Tensor) Sub(o *Tensor) *Tensor {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: Sub shape mismatch %v vs %v", t.shape, o.shape))
+	}
+	out := t.Clone()
+	for i := range out.data {
+		out.data[i] -= o.data[i]
+	}
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product t * o.
+func (t *Tensor) Mul(o *Tensor) *Tensor {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: Mul shape mismatch %v vs %v", t.shape, o.shape))
+	}
+	out := t.Clone()
+	for i := range out.data {
+		out.data[i] *= o.data[i]
+	}
+	return out
+}
+
+// Scale returns a*t.
+func (t *Tensor) Scale(a float32) *Tensor {
+	out := t.Clone()
+	ScaleUnrolled(out.data, a)
+	return out
+}
+
+// ScaleInPlace multiplies every element by a.
+func (t *Tensor) ScaleInPlace(a float32) { ScaleUnrolled(t.data, a) }
+
+// AddScaledInPlace computes t += a*o. Shapes must match exactly.
+func (t *Tensor) AddScaledInPlace(o *Tensor, a float32) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: AddScaled shape mismatch %v vs %v", t.shape, o.shape))
+	}
+	AxpyUnrolled(t.data, o.data, a)
+}
+
+// ReLU returns max(t, 0) elementwise.
+func (t *Tensor) ReLU() *Tensor {
+	out := t.Clone()
+	for i, v := range out.data {
+		if v < 0 {
+			out.data[i] = 0
+		}
+	}
+	return out
+}
+
+// ReLUMask returns a tensor with 1 where t > 0 and 0 elsewhere, used by the
+// ReLU backward pass.
+func (t *Tensor) ReLUMask() *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.data {
+		if v > 0 {
+			out.data[i] = 1
+		}
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+exp(-t)) elementwise.
+func (t *Tensor) Sigmoid() *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return out
+}
+
+// Tanh returns tanh(t) elementwise.
+func (t *Tensor) Tanh() *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = float32(math.Tanh(float64(v)))
+	}
+	return out
+}
+
+// Exp returns exp(t) elementwise.
+func (t *Tensor) Exp() *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = float32(math.Exp(float64(v)))
+	}
+	return out
+}
+
+// SoftmaxRows applies a numerically stable softmax across each row of a
+// tensor viewed as [Rows, Cols].
+func (t *Tensor) SoftmaxRows() *Tensor {
+	out := New(t.shape...)
+	c := t.Cols()
+	for r := 0; r < t.Rows(); r++ {
+		src := t.data[r*c : (r+1)*c]
+		dst := out.data[r*c : (r+1)*c]
+		softmaxInto(dst, src)
+	}
+	return out
+}
+
+func softmaxInto(dst, src []float32) {
+	maxv := float32(math.Inf(-1))
+	for _, v := range src {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float32
+	for i, v := range src {
+		e := float32(math.Exp(float64(v - maxv)))
+		dst[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		return
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// Concat concatenates tensors along dimension 1; all inputs must be 2-D with
+// the same row count.
+func Concat(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of no tensors")
+	}
+	rows := ts[0].Rows()
+	cols := 0
+	for _, t := range ts {
+		if t.Dims() != 2 || t.Rows() != rows {
+			panic(fmt.Sprintf("tensor: Concat needs 2-D tensors with %d rows, got %v", rows, t.shape))
+		}
+		cols += t.Dim(1)
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, t := range ts {
+		c := t.Dim(1)
+		for r := 0; r < rows; r++ {
+			copy(out.data[r*cols+off:r*cols+off+c], t.Row(r))
+		}
+		off += c
+	}
+	return out
+}
+
+// SplitCols splits a 2-D tensor into pieces with the given column widths,
+// the inverse of Concat.
+func (t *Tensor) SplitCols(widths ...int) []*Tensor {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	if t.Dims() != 2 || total != t.Dim(1) {
+		panic(fmt.Sprintf("tensor: SplitCols widths %v do not cover shape %v", widths, t.shape))
+	}
+	rows, cols := t.Rows(), t.Dim(1)
+	out := make([]*Tensor, len(widths))
+	off := 0
+	for i, w := range widths {
+		p := New(rows, w)
+		for r := 0; r < rows; r++ {
+			copy(p.Row(r), t.data[r*cols+off:r*cols+off+w])
+		}
+		out[i] = p
+		off += w
+	}
+	return out
+}

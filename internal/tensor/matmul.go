@@ -1,0 +1,129 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// maxProcs bounds the parallelism of tensor kernels.
+var maxProcs = runtime.GOMAXPROCS(0)
+
+// ParallelFor splits [0, n) into roughly equal chunks and runs body on each
+// chunk concurrently. body receives [start, end). Small n runs inline.
+func ParallelFor(n int, body func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxProcs
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= n {
+			break
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			body(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// MatMul returns t @ o for 2-D tensors [m,k] x [k,n] -> [m,n]. Rows are
+// computed in parallel; the inner loop is an ikj traversal so the innermost
+// access pattern is sequential over both operands.
+func (t *Tensor) MatMul(o *Tensor) *Tensor {
+	if t.Dims() != 2 || o.Dims() != 2 || t.Dim(1) != o.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", t.shape, o.shape))
+	}
+	m, k, n := t.Dim(0), t.Dim(1), o.Dim(1)
+	out := New(m, n)
+	ParallelFor(m, func(rs, re int) {
+		for i := rs; i < re; i++ {
+			ti := t.data[i*k : (i+1)*k]
+			oi := out.data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				a := ti[p]
+				if a == 0 {
+					continue
+				}
+				AxpyUnrolled(oi, o.data[p*n:(p+1)*n], a)
+			}
+		}
+	})
+	return out
+}
+
+// MatMulT returns t @ oᵀ for 2-D tensors [m,k] x [n,k] -> [m,n]. Using the
+// transposed right operand keeps both inner accesses sequential, which is
+// the layout the backward pass of Linear needs.
+func (t *Tensor) MatMulT(o *Tensor) *Tensor {
+	if t.Dims() != 2 || o.Dims() != 2 || t.Dim(1) != o.Dim(1) {
+		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %v x %vᵀ", t.shape, o.shape))
+	}
+	m, k, n := t.Dim(0), t.Dim(1), o.Dim(0)
+	out := New(m, n)
+	ParallelFor(m, func(rs, re int) {
+		for i := rs; i < re; i++ {
+			ti := t.data[i*k : (i+1)*k]
+			for j := 0; j < n; j++ {
+				out.data[i*n+j] = DotUnrolled(ti, o.data[j*k:(j+1)*k])
+			}
+		}
+	})
+	return out
+}
+
+// TMatMul returns tᵀ @ o for 2-D tensors [k,m] x [k,n] -> [m,n], the other
+// product shape the Linear backward pass needs (grad of the weight).
+func (t *Tensor) TMatMul(o *Tensor) *Tensor {
+	if t.Dims() != 2 || o.Dims() != 2 || t.Dim(0) != o.Dim(0) {
+		panic(fmt.Sprintf("tensor: TMatMul shape mismatch %vᵀ x %v", t.shape, o.shape))
+	}
+	k, m, n := t.Dim(0), t.Dim(1), o.Dim(1)
+	out := New(m, n)
+	// Parallelize over output rows; each output row i accumulates
+	// t[p][i] * o[p][:] over all p, so every worker writes a disjoint range.
+	ParallelFor(m, func(rs, re int) {
+		for i := rs; i < re; i++ {
+			oi := out.data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				a := t.data[p*m+i]
+				if a == 0 {
+					continue
+				}
+				AxpyUnrolled(oi, o.data[p*n:(p+1)*n], a)
+			}
+		}
+	})
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor as a new tensor.
+func (t *Tensor) Transpose2D() *Tensor {
+	if t.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D on shape %v", t.shape))
+	}
+	m, n := t.Dim(0), t.Dim(1)
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = t.data[i*n+j]
+		}
+	}
+	return out
+}

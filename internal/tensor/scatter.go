@@ -1,0 +1,142 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gather returns a new tensor whose row i is src.Row(index[i]). It is the
+// "collect and materialise features along edges" step of the sparse tensor
+// aggregation path (§3.3): for |E| edges the result has |E| rows, which is
+// exactly the memory blow-up the paper's feature-fusion operator avoids.
+func Gather(src *Tensor, index []int32) *Tensor {
+	c := src.Cols()
+	out := New(len(index), c)
+	ParallelFor(len(index), func(s, e int) {
+		for i := s; i < e; i++ {
+			copy(out.data[i*c:(i+1)*c], src.Row(int(index[i])))
+		}
+	})
+	return out
+}
+
+// ScatterAdd reduces the rows of values into numOut rows, where row i of
+// values is added into output row index[i]. This is the scatter_add of the
+// paper's Fig. 8.
+func ScatterAdd(values *Tensor, index []int32, numOut int) *Tensor {
+	return scatter(values, index, numOut, ReduceSum)
+}
+
+// ScatterMean is ScatterAdd followed by dividing each output row by its
+// contribution count; rows with no contributions stay zero.
+func ScatterMean(values *Tensor, index []int32, numOut int) *Tensor {
+	return scatter(values, index, numOut, ReduceMean)
+}
+
+// ScatterMax reduces with elementwise max; rows with no contributions are
+// zero (not -Inf), matching pytorch_scatter's composite behaviour.
+func ScatterMax(values *Tensor, index []int32, numOut int) *Tensor {
+	return scatter(values, index, numOut, ReduceMax)
+}
+
+// ScatterMin reduces with elementwise min; rows with no contributions are
+// zero.
+func ScatterMin(values *Tensor, index []int32, numOut int) *Tensor {
+	return scatter(values, index, numOut, ReduceMin)
+}
+
+func scatter(values *Tensor, index []int32, numOut int, op ReduceOp) *Tensor {
+	if values.Rows() != len(index) {
+		panic(fmt.Sprintf("tensor: scatter values rows %d != index length %d", values.Rows(), len(index)))
+	}
+	c := values.Cols()
+	out := New(numOut, c)
+	switch op {
+	case ReduceMax:
+		out.Fill(float32(math.Inf(-1)))
+	case ReduceMin:
+		out.Fill(float32(math.Inf(1)))
+	}
+	counts := make([]int32, numOut)
+	for i, dst := range index {
+		if dst < 0 || int(dst) >= numOut {
+			panic(fmt.Sprintf("tensor: scatter index %d out of range [0,%d)", dst, numOut))
+		}
+		counts[dst]++
+		drow := out.data[int(dst)*c : int(dst+1)*c]
+		srow := values.data[i*c : (i+1)*c]
+		switch op {
+		case ReduceSum, ReduceMean:
+			AddUnrolled(drow, srow)
+		case ReduceMax:
+			MaxUnrolled(drow, srow)
+		case ReduceMin:
+			MinUnrolled(drow, srow)
+		}
+	}
+	for r := 0; r < numOut; r++ {
+		drow := out.data[r*c : (r+1)*c]
+		if counts[r] == 0 {
+			// Empty groups produce zero rows for every operator.
+			for j := range drow {
+				drow[j] = 0
+			}
+			continue
+		}
+		if op == ReduceMean {
+			ScaleUnrolled(drow, 1/float32(counts[r]))
+		}
+	}
+	return out
+}
+
+// ScatterSoftmax normalises values so that, within each group of rows
+// sharing the same index, every column position is softmax-ed over the
+// group. It is the scatter_softmax used by MAGNN's intermediate-level
+// attention in the paper's Fig. 7.
+func ScatterSoftmax(values *Tensor, index []int32, numOut int) *Tensor {
+	if values.Rows() != len(index) {
+		panic(fmt.Sprintf("tensor: scatter values rows %d != index length %d", values.Rows(), len(index)))
+	}
+	c := values.Cols()
+	// Pass 1: per-group column max for numeric stability.
+	maxes := Full(float32(math.Inf(-1)), numOut, c)
+	for i, dst := range index {
+		MaxUnrolled(maxes.data[int(dst)*c:int(dst+1)*c], values.data[i*c:(i+1)*c])
+	}
+	// Pass 2: exponentiate and accumulate per-group sums.
+	out := New(values.Rows(), c)
+	sums := New(numOut, c)
+	for i, dst := range index {
+		mrow := maxes.data[int(dst)*c : int(dst+1)*c]
+		srow := sums.data[int(dst)*c : int(dst+1)*c]
+		vrow := values.data[i*c : (i+1)*c]
+		orow := out.data[i*c : (i+1)*c]
+		for j := 0; j < c; j++ {
+			e := float32(math.Exp(float64(vrow[j] - mrow[j])))
+			orow[j] = e
+			srow[j] += e
+		}
+	}
+	// Pass 3: normalise.
+	for i, dst := range index {
+		srow := sums.data[int(dst)*c : int(dst+1)*c]
+		orow := out.data[i*c : (i+1)*c]
+		for j := 0; j < c; j++ {
+			if srow[j] != 0 {
+				orow[j] /= srow[j]
+			}
+		}
+	}
+	return out
+}
+
+// ScatterCounts returns how many rows map to each output row, the
+// denominator used by mean-style backward passes.
+func ScatterCounts(index []int32, numOut int) []int32 {
+	counts := make([]int32, numOut)
+	for _, dst := range index {
+		counts[dst]++
+	}
+	return counts
+}

@@ -1,0 +1,138 @@
+package tensor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a sparse matrix in coordinate-list format: entry k is
+// (Row[k], Col[k], Val[k]). It is the encoding the paper uses for HDG level
+// sub-graphs fed to scatter operations (§3.3).
+type COO struct {
+	NumRows int
+	NumCols int
+	Row     []int32
+	Col     []int32
+	Val     []float32
+}
+
+// NNZ returns the number of stored entries.
+func (m *COO) NNZ() int { return len(m.Row) }
+
+// NewCOO returns an empty COO matrix of the given dimensions.
+func NewCOO(numRows, numCols int) *COO {
+	return &COO{NumRows: numRows, NumCols: numCols}
+}
+
+// Append adds one entry. Duplicate coordinates are allowed and sum on
+// conversion to CSR.
+func (m *COO) Append(row, col int32, val float32) {
+	if int(row) >= m.NumRows || int(col) >= m.NumCols || row < 0 || col < 0 {
+		panic(fmt.Sprintf("tensor: COO entry (%d,%d) out of bounds %dx%d", row, col, m.NumRows, m.NumCols))
+	}
+	m.Row = append(m.Row, row)
+	m.Col = append(m.Col, col)
+	m.Val = append(m.Val, val)
+}
+
+// CSR is a sparse matrix in compressed-sparse-row format.
+type CSR struct {
+	NumRows int
+	NumCols int
+	RowPtr  []int32 // length NumRows+1
+	ColIdx  []int32 // length NNZ
+	Val     []float32
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.ColIdx) }
+
+// ToCSR converts a COO matrix to CSR, summing duplicate coordinates.
+func (m *COO) ToCSR() *CSR {
+	type entry struct {
+		r, c int32
+		v    float32
+	}
+	entries := make([]entry, m.NNZ())
+	for i := range entries {
+		entries[i] = entry{m.Row[i], m.Col[i], m.Val[i]}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].r != entries[j].r {
+			return entries[i].r < entries[j].r
+		}
+		return entries[i].c < entries[j].c
+	})
+	out := &CSR{NumRows: m.NumRows, NumCols: m.NumCols, RowPtr: make([]int32, m.NumRows+1)}
+	for i := 0; i < len(entries); {
+		j := i
+		v := float32(0)
+		for j < len(entries) && entries[j].r == entries[i].r && entries[j].c == entries[i].c {
+			v += entries[j].v
+			j++
+		}
+		out.ColIdx = append(out.ColIdx, entries[i].c)
+		out.Val = append(out.Val, v)
+		out.RowPtr[entries[i].r+1]++
+		i = j
+	}
+	for r := 0; r < m.NumRows; r++ {
+		out.RowPtr[r+1] += out.RowPtr[r]
+	}
+	return out
+}
+
+// SpMM computes the sparse-dense product m @ x -> [NumRows, x.Cols()]. Rows
+// are processed in parallel. This is the sparse-dense matrix multiplication
+// kernel that the paper's PyTorch GCN baseline uses.
+func (m *CSR) SpMM(x *Tensor) *Tensor {
+	if x.Rows() != m.NumCols {
+		panic(fmt.Sprintf("tensor: SpMM shape mismatch %dx%d @ %v", m.NumRows, m.NumCols, x.Shape()))
+	}
+	c := x.Cols()
+	out := New(m.NumRows, c)
+	ParallelFor(m.NumRows, func(rs, re int) {
+		for r := rs; r < re; r++ {
+			dst := out.data[r*c : (r+1)*c]
+			for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+				AxpyUnrolled(dst, x.Row(int(m.ColIdx[p])), m.Val[p])
+			}
+		}
+	})
+	return out
+}
+
+// Transpose returns the CSR form of mᵀ (equivalently, the CSC form of m).
+func (m *CSR) Transpose() *CSR {
+	out := &CSR{
+		NumRows: m.NumCols,
+		NumCols: m.NumRows,
+		RowPtr:  make([]int32, m.NumCols+1),
+		ColIdx:  make([]int32, m.NNZ()),
+		Val:     make([]float32, m.NNZ()),
+	}
+	for _, c := range m.ColIdx {
+		out.RowPtr[c+1]++
+	}
+	for i := 0; i < m.NumCols; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	next := append([]int32(nil), out.RowPtr[:m.NumCols]...)
+	for r := 0; r < m.NumRows; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			c := m.ColIdx[p]
+			out.ColIdx[next[c]] = int32(r)
+			out.Val[next[c]] = m.Val[p]
+			next[c]++
+		}
+	}
+	return out
+}
+
+// RowDegree returns the number of stored entries in row r.
+func (m *CSR) RowDegree(r int) int { return int(m.RowPtr[r+1] - m.RowPtr[r]) }
+
+// NumBytes returns the memory footprint of the index and value arrays.
+func (m *CSR) NumBytes() int64 {
+	return int64(len(m.RowPtr))*4 + int64(len(m.ColIdx))*4 + int64(len(m.Val))*4
+}

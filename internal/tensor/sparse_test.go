@@ -1,0 +1,139 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCOOToCSR(t *testing.T) {
+	m := NewCOO(3, 3)
+	m.Append(0, 1, 1)
+	m.Append(2, 0, 2)
+	m.Append(0, 1, 3) // duplicate, should sum to 4
+	m.Append(1, 2, 5)
+	csr := m.ToCSR()
+	if csr.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3 (duplicates summed)", csr.NNZ())
+	}
+	if csr.RowDegree(0) != 1 || csr.RowDegree(1) != 1 || csr.RowDegree(2) != 1 {
+		t.Fatalf("row degrees wrong: %v", csr.RowPtr)
+	}
+	if csr.ColIdx[0] != 1 || csr.Val[0] != 4 {
+		t.Fatalf("duplicate not summed: col=%d val=%v", csr.ColIdx[0], csr.Val[0])
+	}
+}
+
+func TestCOOOutOfBoundsPanics(t *testing.T) {
+	defer expectPanic(t, "COO out of bounds")
+	NewCOO(2, 2).Append(2, 0, 1)
+}
+
+func TestSpMMAgainstDense(t *testing.T) {
+	rng := NewRNG(5)
+	m := NewCOO(4, 5)
+	dense := New(4, 5)
+	for i := 0; i < 8; i++ {
+		r, c := int32(rng.Intn(4)), int32(rng.Intn(5))
+		v := rng.NormFloat32()
+		m.Append(r, c, v)
+		dense.Set(dense.At(int(r), int(c))+v, int(r), int(c))
+	}
+	x := RandN(rng, 1, 5, 3)
+	got := m.ToCSR().SpMM(x)
+	want := dense.MatMul(x)
+	if !got.ApproxEqual(want, 1e-4) {
+		t.Fatalf("SpMM = %v, want %v", got, want)
+	}
+}
+
+func TestCSRTranspose(t *testing.T) {
+	m := NewCOO(2, 3)
+	m.Append(0, 2, 7)
+	m.Append(1, 0, 3)
+	tr := m.ToCSR().Transpose()
+	if tr.NumRows != 3 || tr.NumCols != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.NumRows, tr.NumCols)
+	}
+	// (0,2,7) -> (2,0,7); (1,0,3) -> (0,1,3)
+	if tr.RowDegree(2) != 1 || tr.ColIdx[tr.RowPtr[2]] != 0 || tr.Val[tr.RowPtr[2]] != 7 {
+		t.Fatal("transpose entry (2,0) wrong")
+	}
+	if tr.RowDegree(0) != 1 || tr.ColIdx[tr.RowPtr[0]] != 1 || tr.Val[tr.RowPtr[0]] != 3 {
+		t.Fatal("transpose entry (0,1) wrong")
+	}
+}
+
+// Property: transpose twice is the identity (up to within-row ordering,
+// which ToCSR canonicalises).
+func TestTransposeInvolutionQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := NewCOO(rows, cols)
+		for i := 0; i < rng.Intn(20); i++ {
+			m.Append(int32(rng.Intn(rows)), int32(rng.Intn(cols)), rng.NormFloat32())
+		}
+		a := m.ToCSR()
+		b := a.Transpose().Transpose()
+		if a.NumRows != b.NumRows || a.NNZ() != b.NNZ() {
+			return false
+		}
+		for i := range a.RowPtr {
+			if a.RowPtr[i] != b.RowPtr[i] {
+				return false
+			}
+		}
+		for i := range a.ColIdx {
+			if a.ColIdx[i] != b.ColIdx[i] || a.Val[i] != b.Val[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SpMM with the identity matrix returns the input.
+func TestSpMMIdentityQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		n := 1 + rng.Intn(10)
+		id := NewCOO(n, n)
+		for i := 0; i < n; i++ {
+			id.Append(int32(i), int32(i), 1)
+		}
+		x := RandN(rng, 1, n, 4)
+		return id.ToCSR().SpMM(x).ApproxEqual(x, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRNumBytes(t *testing.T) {
+	m := NewCOO(2, 2)
+	m.Append(0, 0, 1)
+	csr := m.ToCSR()
+	want := int64(3*4 + 1*4 + 1*4) // rowptr(3) + colidx(1) + val(1), 4 bytes each
+	if csr.NumBytes() != want {
+		t.Fatalf("NumBytes = %d, want %d", csr.NumBytes(), want)
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 255, 256, 1000, 4096} {
+		seen := make([]int32, n)
+		ParallelFor(n, func(s, e int) {
+			for i := s; i < e; i++ {
+				seen[i]++
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
