@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: ci build test race vet fmt bench
+
+ci: vet fmt race test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages the kernel hot path touches.
+race:
+	$(GO) test -race ./internal/tensor/... ./internal/engine/...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Kernel before/after microbenchmarks (results recorded in BENCH_kernels.json).
+bench:
+	$(GO) test -run xxx -bench 'Kernel' -benchmem ./internal/tensor/
+	$(GO) test -run xxx -bench 'Fused' -benchmem ./internal/engine/
+	$(GO) test -run xxx -bench 'TrainStep' -benchmem .

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/hdg"
 	"repro/internal/nn"
@@ -38,12 +39,44 @@ func (s Strategy) String() string {
 }
 
 // Engine executes aggregation levels under a strategy.
+//
+// Arena, when non-nil, supplies the buffers for the fused kernels' forward
+// outputs. The training loop installs it for the duration of one step and
+// Resets it after the optimizer update; everything else (Predict, Evaluate,
+// concurrent cluster workers sharing an engine) leaves it nil and gets plain
+// allocations.
 type Engine struct {
 	Strategy Strategy
+	Arena    *tensor.Arena
 }
 
 // New returns an engine with the given strategy. The zero value is SA.
 func New(s Strategy) *Engine { return &Engine{Strategy: s} }
+
+// edgeBalanceOff gates contribution-weighted range splitting in the fused
+// kernels (off = seed behaviour: equal destination-count chunks, which a
+// power-law hub can serialise).
+var edgeBalanceOff atomic.Bool
+
+// SetEdgeBalancedSplit toggles edge-balanced (degree-weighted) worker range
+// splitting in the fused aggregation kernels. On by default; turning it off
+// restores the seed's equal-row chunking for the ablation benches.
+func SetEdgeBalancedSplit(on bool) { edgeBalanceOff.Store(!on) }
+
+// EdgeBalancedSplit reports whether edge-balanced splitting is enabled.
+func EdgeBalancedSplit() bool { return !edgeBalanceOff.Load() }
+
+// parallelDst partitions [0, n) destination rows across workers. With
+// edge-balanced splitting the CSR pointer array acts as a prefix-sum of
+// per-row work so chunk boundaries equalise edges, not rows; itemCost is the
+// per-edge cost in float ops (the feature width).
+func parallelDst(n int, ptr []int64, itemCost int, body func(start, end int)) {
+	if EdgeBalancedSplit() {
+		tensor.ParallelForWeighted(n, ptr, itemCost, body)
+		return
+	}
+	tensor.ParallelForGrain(n, 0, body)
+}
 
 // AggregateBottom aggregates source features into destination rows for the
 // bottom (neighbor-instance) level, or for a DNFA model's 1-hop level. The
@@ -52,7 +85,7 @@ func (e *Engine) AggregateBottom(adj *Adjacency, feats *nn.Value, op tensor.Redu
 	if e.Strategy == StrategySA {
 		return ScatterAggregate(adj, feats, op)
 	}
-	return FusedAggregate(adj, feats, op)
+	return fusedAggregate(adj, feats, op, true, e.Arena)
 }
 
 // AggregateIntermediate reduces instance features into (root, type) slots
@@ -158,36 +191,58 @@ func FusedAggregateScalar(adj *Adjacency, feats *nn.Value, op tensor.ReduceOp) *
 
 // FusedAggregateOpt is the fused path with an explicit SIMD toggle.
 func FusedAggregateOpt(adj *Adjacency, feats *nn.Value, op tensor.ReduceOp, simd bool) *nn.Value {
+	return fusedAggregate(adj, feats, op, simd, nil)
+}
+
+func fusedAggregate(adj *Adjacency, feats *nn.Value, op tensor.ReduceOp, simd bool, ar *tensor.Arena) *nn.Value {
 	adj.validate(feats.Data.Rows())
 	switch op {
 	case tensor.ReduceSum, tensor.ReduceMean:
-		return fusedSumMean(adj, feats, op, simd)
+		return fusedSumMean(adj, feats, op, simd, ar)
 	case tensor.ReduceMax:
-		return fusedExtreme(adj, feats, true)
+		return fusedExtreme(adj, feats, true, ar)
 	case tensor.ReduceMin:
-		return fusedExtreme(adj, feats, false)
+		return fusedExtreme(adj, feats, false, ar)
 	default:
 		panic(fmt.Sprintf("engine: unsupported fused op %v", op))
 	}
 }
 
-func fusedForwardSum(adj *Adjacency, feats *tensor.Tensor, mean, simd bool) *tensor.Tensor {
+// fusedForwardSum streams source rows into each destination. The first edge
+// of a destination copies instead of accumulating, so the output needs no
+// zero-fill pass (0 + x == x exactly in IEEE arithmetic, so results are
+// bitwise identical to the seed); empty destinations are cleared explicitly.
+func fusedForwardSum(adj *Adjacency, feats *tensor.Tensor, mean, simd bool, ar *tensor.Arena) *tensor.Tensor {
 	dim := feats.Cols()
-	out := tensor.New(adj.NumDst, dim)
+	out := ar.NewUninit(adj.NumDst, dim)
 	od, fd := out.Data(), feats.Data()
 	add := tensor.AddUnrolled
 	if !simd {
 		add = tensor.AddScalarLoop
 	}
-	tensor.ParallelFor(adj.NumDst, func(s, e int) {
+	idx := adj.SrcIdx
+	parallelDst(adj.NumDst, adj.DstPtr, dim, func(s, e int) {
 		for d := s; d < e; d++ {
 			dst := od[d*dim : (d+1)*dim]
 			lo, hi := adj.DstPtr[d], adj.DstPtr[d+1]
-			for p := lo; p < hi; p++ {
-				src := int(adj.Src(p))
-				add(dst, fd[src*dim:(src+1)*dim])
+			if lo == hi {
+				clear(dst)
+				continue
 			}
-			if mean && hi > lo {
+			if adj.ImplicitSrc {
+				copy(dst, fd[lo*int64(dim):(lo+1)*int64(dim)])
+				for p := lo + 1; p < hi; p++ {
+					add(dst, fd[p*int64(dim):(p+1)*int64(dim)])
+				}
+			} else {
+				src := int(idx[lo])
+				copy(dst, fd[src*dim:(src+1)*dim])
+				for p := lo + 1; p < hi; p++ {
+					src = int(idx[p])
+					add(dst, fd[src*dim:(src+1)*dim])
+				}
+			}
+			if mean {
 				tensor.ScaleUnrolled(dst, 1/float32(hi-lo))
 			}
 		}
@@ -195,32 +250,58 @@ func fusedForwardSum(adj *Adjacency, feats *tensor.Tensor, mean, simd bool) *ten
 	return out
 }
 
-func fusedSumMean(adj *Adjacency, feats *nn.Value, op tensor.ReduceOp, simd bool) *nn.Value {
+func fusedSumMean(adj *Adjacency, feats *nn.Value, op tensor.ReduceOp, simd bool, ar *tensor.Arena) *nn.Value {
 	mean := op == tensor.ReduceMean
-	data := fusedForwardSum(adj, feats.Data, mean, simd)
+	data := fusedForwardSum(adj, feats.Data, mean, simd, ar)
 	backward := func(out *nn.Value) {
 		rev := adj.Reverse()
 		dim := feats.Data.Cols()
-		grad := tensor.New(feats.Data.Shape()...)
+		// The gradient is handed off to AccumGradOwned, which adopts or
+		// recycles it — so it must come from the global pool, never from the
+		// step arena (an arena Reset would reclaim a live accumulator).
+		grad := tensor.NewUninit(feats.Data.Shape()...)
 		gd, od := grad.Data(), out.Grad.Data()
 		add, axpy := tensor.AddUnrolled, tensor.AxpyUnrolled
 		if !simd {
 			add, axpy = tensor.AddScalarLoop, tensor.AxpyScalarLoop
 		}
+		scaledCopy := func(dst, src []float32, a float32) {
+			copy(dst, src)
+			tensor.ScaleUnrolled(dst, a)
+		}
+		if !simd {
+			scaledCopy = func(dst, src []float32, a float32) {
+				for j := range dst {
+					dst[j] = src[j] * a
+				}
+			}
+		}
 		var degInv []float32
 		if mean {
-			degInv = make([]float32, adj.NumDst)
+			degInv = tensor.GetBufUninit(adj.NumDst)
 			for d := 0; d < adj.NumDst; d++ {
+				degInv[d] = 0
 				if deg := adj.DstPtr[d+1] - adj.DstPtr[d]; deg > 0 {
 					degInv[d] = 1 / float32(deg)
 				}
 			}
 		}
-		tensor.ParallelFor(rev.NumDst, func(s, e int) {
+		parallelDst(rev.NumDst, rev.DstPtr, dim, func(s, e int) {
 			for v := s; v < e; v++ {
 				dst := gd[v*dim : (v+1)*dim]
-				for p := rev.DstPtr[v]; p < rev.DstPtr[v+1]; p++ {
-					d := int(rev.SrcIdx[p])
+				lo, hi := rev.DstPtr[v], rev.DstPtr[v+1]
+				if lo == hi {
+					clear(dst) // source with no out-edges: zero gradient
+					continue
+				}
+				d := int(rev.SrcIdx[lo])
+				if mean {
+					scaledCopy(dst, od[d*dim:(d+1)*dim], degInv[d])
+				} else {
+					copy(dst, od[d*dim:(d+1)*dim])
+				}
+				for p := lo + 1; p < hi; p++ {
+					d = int(rev.SrcIdx[p])
 					row := od[d*dim : (d+1)*dim]
 					if mean {
 						axpy(dst, row, degInv[d])
@@ -230,31 +311,38 @@ func fusedSumMean(adj *Adjacency, feats *nn.Value, op tensor.ReduceOp, simd bool
 				}
 			}
 		})
-		accumInto(feats, grad)
+		if mean {
+			tensor.PutBuf(degInv)
+		}
+		nn.AccumGradOwned(feats, grad)
 	}
 	return nn.NewOp(data, backward, feats)
 }
 
-func fusedExtreme(adj *Adjacency, feats *nn.Value, max bool) *nn.Value {
+func fusedExtreme(adj *Adjacency, feats *nn.Value, max bool, ar *tensor.Arena) *nn.Value {
 	dim := feats.Data.Cols()
-	out := tensor.New(adj.NumDst, dim)
+	out := ar.NewUninit(adj.NumDst, dim)
 	argmax := make([]int32, adj.NumDst*dim)
 	od, fd := out.Data(), feats.Data.Data()
-	tensor.ParallelFor(adj.NumDst, func(s, e int) {
+	parallelDst(adj.NumDst, adj.DstPtr, dim, func(s, e int) {
 		for d := s; d < e; d++ {
 			base := d * dim
-			first := true
-			for p := adj.DstPtr[d]; p < adj.DstPtr[d+1]; p++ {
-				src := int(adj.Src(p))
-				row := fd[src*dim : (src+1)*dim]
-				if first {
-					copy(od[base:base+dim], row)
-					for j := 0; j < dim; j++ {
-						argmax[base+j] = int32(src)
-					}
-					first = false
-					continue
+			lo, hi := adj.DstPtr[d], adj.DstPtr[d+1]
+			if lo == hi {
+				clear(od[base : base+dim])
+				for j := 0; j < dim; j++ {
+					argmax[base+j] = -1
 				}
+				continue
+			}
+			src := int(adj.Src(lo))
+			copy(od[base:base+dim], fd[src*dim:(src+1)*dim])
+			for j := 0; j < dim; j++ {
+				argmax[base+j] = int32(src)
+			}
+			for p := lo + 1; p < hi; p++ {
+				src = int(adj.Src(p))
+				row := fd[src*dim : (src+1)*dim]
 				for j := 0; j < dim; j++ {
 					better := row[j] > od[base+j]
 					if !max {
@@ -266,29 +354,56 @@ func fusedExtreme(adj *Adjacency, feats *nn.Value, max bool) *nn.Value {
 					}
 				}
 			}
-			if first {
-				for j := 0; j < dim; j++ {
-					argmax[base+j] = -1
-				}
-			}
 		}
 	})
 	backward := func(outV *nn.Value) {
-		grad := tensor.New(feats.Data.Shape()...)
-		gd, ogd := grad.Data(), outV.Grad.Data()
-		for d := 0; d < adj.NumDst; d++ {
-			base := d * dim
-			for j := 0; j < dim; j++ {
-				if src := argmax[base+j]; src >= 0 {
-					gd[int(src)*dim+j] += ogd[base+j]
+		if tensor.Parallelism() <= 1 {
+			// One worker: no write races to avoid, so scatter the argmax
+			// gradients directly — O(NumDst*dim), cheaper than the
+			// reverse-adjacency walk below.
+			grad := tensor.NewPooled(feats.Data.Shape()...)
+			gd, ogd := grad.Data(), outV.Grad.Data()
+			for d := 0; d < adj.NumDst; d++ {
+				base := d * dim
+				for j := 0; j < dim; j++ {
+					if src := argmax[base+j]; src >= 0 {
+						gd[int(src)*dim+j] += ogd[base+j]
+					}
 				}
 			}
+			nn.AccumGradOwned(feats, grad)
+			return
 		}
-		accumInto(feats, grad)
+		// Route gradients through the reverse adjacency so each worker owns
+		// a disjoint range of source (gradient) rows — the seed ran this
+		// serially. rev lists each source's destinations in ascending order,
+		// so a multi-edge (same src->dst twice) appears as consecutive
+		// duplicates and is skipped: the argmax check is per-destination, and
+		// processing d twice would double-count its gradient.
+		rev := adj.Reverse()
+		grad := tensor.NewUninit(feats.Data.Shape()...)
+		gd, ogd := grad.Data(), outV.Grad.Data()
+		parallelDst(rev.NumDst, rev.DstPtr, dim, func(s, e int) {
+			for v := s; v < e; v++ {
+				row := gd[v*dim : (v+1)*dim]
+				clear(row)
+				prev := int32(-1)
+				for p := rev.DstPtr[v]; p < rev.DstPtr[v+1]; p++ {
+					d := rev.SrcIdx[p]
+					if d == prev {
+						continue
+					}
+					prev = d
+					base := int(d) * dim
+					for j := 0; j < dim; j++ {
+						if argmax[base+j] == int32(v) {
+							row[j] += ogd[base+j]
+						}
+					}
+				}
+			}
+		})
+		nn.AccumGradOwned(feats, grad)
 	}
 	return nn.NewOp(out, backward, feats)
-}
-
-func accumInto(v *nn.Value, grad *tensor.Tensor) {
-	nn.AccumGrad(v, grad)
 }

@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hdg"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// randomHeteroHDG builds a random hierarchical HDG: nRoots roots, two
+// metapath types, each root with a random number of instances whose leaves
+// are drawn from a feature universe of nVerts vertices. A few hub vertices
+// appear in many instances so the edge-balanced split has real skew to chew
+// on.
+func randomHeteroHDG(t *testing.T, rng *tensor.RNG, nRoots, nVerts int) *hdg.HDG {
+	t.Helper()
+	schema := hdg.NewSchemaTree("MP1", "MP2")
+	var recs []hdg.Record
+	roots := make([]graph.VertexID, nRoots)
+	for r := 0; r < nRoots; r++ {
+		roots[r] = graph.VertexID(r)
+		for ty := 0; ty < 2; ty++ {
+			for k := rng.Intn(4); k >= 0; k-- {
+				nei := []graph.VertexID{graph.VertexID(r)}
+				for l := 1 + rng.Intn(3); l > 0; l-- {
+					v := rng.Intn(nVerts)
+					if rng.Intn(3) == 0 {
+						v = 0 // hub vertex
+					}
+					nei = append(nei, graph.VertexID(v))
+				}
+				recs = append(recs, hdg.Record{Root: roots[r], Nei: nei, Type: ty})
+			}
+		}
+	}
+	h, err := hdg.Build(schema, roots, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// runHierarchical aggregates bottom -> intermediate -> schema under the
+// engine's strategy, backprops a deterministic seed, and returns the root
+// output plus the leaf gradient.
+func runHierarchical(e *Engine, h *hdg.HDG, adj *Adjacency, base *tensor.Tensor, op tensor.ReduceOp) (*tensor.Tensor, *tensor.Tensor) {
+	feats := nn.Param(base.Clone())
+	inst := e.AggregateBottom(adj, feats, op)
+	slots := e.AggregateIntermediate(h, inst, tensor.ReduceSum)
+	root := e.AggregateSchema(h, slots, tensor.ReduceSum)
+	nn.MeanAll(root).Backward()
+	return root.Data.Clone(), feats.Grad.Clone()
+}
+
+// Property test for the kernel overhaul: SA, SA+FA and HA must produce
+// numerically identical forward outputs and leaf gradients on a random
+// heterogeneous graph — under every combination of the kernel toggles
+// (worker pool, buffer pooling, edge-balanced splitting), at parallelism 1
+// and 8, and with or without a step arena installed on the engine.
+func TestStrategiesAgreeUnderAllKernelConfigs(t *testing.T) {
+	defer func() {
+		tensor.SetParallelism(0)
+		tensor.SetWorkerPool(true)
+		tensor.SetBufferPooling(true)
+		SetEdgeBalancedSplit(true)
+	}()
+
+	rng := tensor.NewRNG(42)
+	nVerts := 40
+	h := randomHeteroHDG(t, rng, 12, nVerts)
+	adj := FromHDGBottom(h, nVerts)
+	base := tensor.RandN(rng, 1, nVerts, 5)
+
+	ops := []tensor.ReduceOp{tensor.ReduceSum, tensor.ReduceMean, tensor.ReduceMax, tensor.ReduceMin}
+
+	// Reference: seed-equivalent configuration (no pool, no pooling, no
+	// edge balancing, serial), SA strategy.
+	tensor.SetParallelism(1)
+	tensor.SetWorkerPool(false)
+	tensor.SetBufferPooling(false)
+	SetEdgeBalancedSplit(false)
+	wantOut := make(map[tensor.ReduceOp]*tensor.Tensor)
+	wantGrad := make(map[tensor.ReduceOp]*tensor.Tensor)
+	for _, op := range ops {
+		wantOut[op], wantGrad[op] = runHierarchical(New(StrategySA), h, adj, base, op)
+	}
+
+	for _, pool := range []bool{false, true} {
+		for _, pooling := range []bool{false, true} {
+			for _, balanced := range []bool{false, true} {
+				for _, par := range []int{1, 8} {
+					for _, withArena := range []bool{false, true} {
+						tensor.SetWorkerPool(pool)
+						tensor.SetBufferPooling(pooling)
+						SetEdgeBalancedSplit(balanced)
+						tensor.SetParallelism(par)
+						cfg := fmt.Sprintf("pool=%v pooling=%v balanced=%v par=%d arena=%v",
+							pool, pooling, balanced, par, withArena)
+						for _, strat := range []Strategy{StrategySA, StrategySAFA, StrategyHA} {
+							e := New(strat)
+							var ar *tensor.Arena
+							if withArena {
+								ar = &tensor.Arena{}
+								e.Arena = ar
+							}
+							for _, op := range ops {
+								out, grad := runHierarchical(e, h, adj, base, op)
+								if !out.ApproxEqual(wantOut[op], 1e-5) {
+									t.Fatalf("[%s %v op=%v] forward output diverged", cfg, strat, op)
+								}
+								if !grad.ApproxEqual(wantGrad[op], 1e-5) {
+									t.Fatalf("[%s %v op=%v] leaf gradient diverged", cfg, strat, op)
+								}
+							}
+							if withArena {
+								if e.Strategy != StrategySA && ar.Live() == 0 {
+									t.Fatalf("[%s %v] fused path did not use the arena", cfg, strat)
+								}
+								ar.Reset()
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The fused backward must handle multi-edges (same src->dst repeated): the
+// reverse-adjacency gradient walk skips duplicate destinations, and sum
+// semantics count each edge.
+func TestFusedMultiEdgeGradients(t *testing.T) {
+	// dst 0 <- {src 1, src 1, src 2}; dst 1 <- {src 1}.
+	adj := &Adjacency{
+		NumDst: 2, NumSrc: 3,
+		DstPtr: []int64{0, 3, 4},
+		SrcIdx: []int32{1, 1, 2, 1},
+	}
+	rng := tensor.NewRNG(8)
+	base := tensor.RandN(rng, 1, 3, 4)
+	seed := tensor.RandN(rng, 1, 2, 4)
+	for _, op := range []tensor.ReduceOp{tensor.ReduceSum, tensor.ReduceMean, tensor.ReduceMax, tensor.ReduceMin} {
+		f1 := nn.Param(base.Clone())
+		FusedAggregate(adj, f1, op).BackwardWith(seed.Clone())
+		f2 := nn.Param(base.Clone())
+		ScatterAggregate(adj, f2, op).BackwardWith(seed.Clone())
+		if !f1.Grad.ApproxEqual(f2.Grad, 1e-5) {
+			t.Fatalf("op %v: fused grad %v != scatter grad %v", op, f1.Grad, f2.Grad)
+		}
+	}
+}
+
+// An engine arena installed for a step must recycle the fused outputs on
+// Reset without corrupting parameter gradients accumulated in the step.
+func TestArenaStepIsolation(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	h := randomHeteroHDG(t, rng, 6, 20)
+	adj := FromHDGBottom(h, 20)
+	base := tensor.RandN(rng, 1, 20, 3)
+
+	e := New(StrategyHA)
+	e.Arena = &tensor.Arena{}
+	feats := nn.Param(base.Clone())
+	inst := e.AggregateBottom(adj, feats, tensor.ReduceMean)
+	slots := e.AggregateIntermediate(h, inst, tensor.ReduceSum)
+	root := e.AggregateSchema(h, slots, tensor.ReduceSum)
+	nn.MeanAll(root).Backward()
+	grad := feats.Grad.Clone()
+	e.Arena.Reset()
+	e.Arena = nil
+
+	// Same computation without any arena must produce the same gradient,
+	// and the pre-Reset copy must still hold it.
+	feats2 := nn.Param(base.Clone())
+	inst2 := e.AggregateBottom(adj, feats2, tensor.ReduceMean)
+	slots2 := e.AggregateIntermediate(h, inst2, tensor.ReduceSum)
+	root2 := e.AggregateSchema(h, slots2, tensor.ReduceSum)
+	nn.MeanAll(root2).Backward()
+	if !grad.ApproxEqual(feats2.Grad, 1e-6) {
+		t.Fatalf("gradient corrupted across arena reset: %v vs %v", grad, feats2.Grad)
+	}
+}

@@ -17,3 +17,10 @@ func NewOp(data *tensor.Tensor, backward func(out *Value), parents ...*Value) *V
 // AccumGrad adds grad into v's gradient accumulator (a no-op for nodes that
 // do not require grad). For use by custom operations built with NewOp.
 func AccumGrad(v *Value, grad *tensor.Tensor) { v.accumGrad(grad) }
+
+// AccumGradOwned is AccumGrad for a gradient tensor the caller owns outright
+// and will not touch again. On first accumulation the tensor is adopted as
+// v's accumulator (no zero-fill, no add pass); otherwise it is added and its
+// buffer recycled. The tensor must not be a view and must not come from an
+// Arena (arena Reset would pull the accumulator out from under the caller).
+func AccumGradOwned(v *Value, grad *tensor.Tensor) { v.accumGradOwned(grad) }

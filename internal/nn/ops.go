@@ -9,8 +9,8 @@ import (
 // MatMul returns a @ b with gradients dA = dOut @ bᵀ and dB = aᵀ @ dOut.
 func MatMul(a, b *Value) *Value {
 	return newResult(a.Data.MatMul(b.Data), func(out *Value) {
-		a.accumGrad(out.Grad.MatMulT(b.Data))
-		b.accumGrad(a.Data.TMatMul(out.Grad))
+		a.accumGradOwned(out.Grad.MatMulT(b.Data))
+		b.accumGradOwned(a.Data.TMatMul(out.Grad))
 	}, a, b)
 }
 
@@ -22,7 +22,7 @@ func Add(a, b *Value) *Value {
 		if b.Data.SameShape(a.Data) {
 			b.accumGrad(out.Grad)
 		} else {
-			b.accumGrad(out.Grad.SumRows())
+			b.accumGradOwned(out.Grad.SumRows())
 		}
 	}, a, b)
 }
@@ -31,29 +31,29 @@ func Add(a, b *Value) *Value {
 func Sub(a, b *Value) *Value {
 	return newResult(a.Data.Sub(b.Data), func(out *Value) {
 		a.accumGrad(out.Grad)
-		b.accumGrad(out.Grad.Scale(-1))
+		b.accumGradOwned(out.Grad.Scale(-1))
 	}, a, b)
 }
 
 // Mul returns the elementwise product.
 func Mul(a, b *Value) *Value {
 	return newResult(a.Data.Mul(b.Data), func(out *Value) {
-		a.accumGrad(out.Grad.Mul(b.Data))
-		b.accumGrad(out.Grad.Mul(a.Data))
+		a.accumGradOwned(out.Grad.Mul(b.Data))
+		b.accumGradOwned(out.Grad.Mul(a.Data))
 	}, a, b)
 }
 
 // Scale returns c*a.
 func Scale(a *Value, c float32) *Value {
 	return newResult(a.Data.Scale(c), func(out *Value) {
-		a.accumGrad(out.Grad.Scale(c))
+		a.accumGradOwned(out.Grad.Scale(c))
 	}, a)
 }
 
 // ReLU returns max(a, 0).
 func ReLU(a *Value) *Value {
 	return newResult(a.Data.ReLU(), func(out *Value) {
-		a.accumGrad(out.Grad.Mul(a.Data.ReLUMask()))
+		a.accumGradOwned(out.Grad.Mul(a.Data.ReLUMask()))
 	}, a)
 }
 
@@ -61,12 +61,14 @@ func ReLU(a *Value) *Value {
 func Tanh(a *Value) *Value {
 	data := a.Data.Tanh()
 	return newResult(data, func(out *Value) {
-		g := tensor.New(data.Shape()...)
+		g := tensor.NewUninit(data.Shape()...)
 		gd, od, dd := g.Data(), out.Grad.Data(), data.Data()
-		for i := range gd {
-			gd[i] = od[i] * (1 - dd[i]*dd[i])
-		}
-		a.accumGrad(g)
+		tensor.ParallelForGrain(len(gd), tensor.GrainForCost(1), func(s, e int) {
+			for i := s; i < e; i++ {
+				gd[i] = od[i] * (1 - dd[i]*dd[i])
+			}
+		})
+		a.accumGradOwned(g)
 	}, a)
 }
 
@@ -74,12 +76,14 @@ func Tanh(a *Value) *Value {
 func Sigmoid(a *Value) *Value {
 	data := a.Data.Sigmoid()
 	return newResult(data, func(out *Value) {
-		g := tensor.New(data.Shape()...)
+		g := tensor.NewUninit(data.Shape()...)
 		gd, od, dd := g.Data(), out.Grad.Data(), data.Data()
-		for i := range gd {
-			gd[i] = od[i] * dd[i] * (1 - dd[i])
-		}
-		a.accumGrad(g)
+		tensor.ParallelForGrain(len(gd), tensor.GrainForCost(1), func(s, e int) {
+			for i := s; i < e; i++ {
+				gd[i] = od[i] * dd[i] * (1 - dd[i])
+			}
+		})
+		a.accumGradOwned(g)
 	}, a)
 }
 
@@ -95,7 +99,7 @@ func Concat(vs ...*Value) *Value {
 	return newResult(tensor.Concat(datas...), func(out *Value) {
 		parts := out.Grad.SplitCols(widths...)
 		for i, v := range vs {
-			v.accumGrad(parts[i])
+			v.accumGradOwned(parts[i])
 		}
 	}, vs...)
 }
@@ -111,7 +115,7 @@ func Reshape(a *Value, shape ...int) *Value {
 // scatter-add back to the selected rows.
 func Gather(src *Value, index []int32) *Value {
 	return newResult(tensor.Gather(src.Data, index), func(out *Value) {
-		src.accumGrad(tensor.ScatterAdd(out.Grad, index, src.Data.Rows()))
+		src.accumGradOwned(tensor.ScatterAdd(out.Grad, index, src.Data.Rows()))
 	}, src)
 }
 
@@ -119,7 +123,7 @@ func Gather(src *Value, index []int32) *Value {
 // gradient of values row i is dOut row index[i].
 func ScatterAdd(values *Value, index []int32, numOut int) *Value {
 	return newResult(tensor.ScatterAdd(values.Data, index, numOut), func(out *Value) {
-		values.accumGrad(tensor.Gather(out.Grad, index))
+		values.accumGradOwned(tensor.Gather(out.Grad, index))
 	}, values)
 }
 
@@ -131,11 +135,13 @@ func ScatterMean(values *Value, index []int32, numOut int) *Value {
 		g := tensor.Gather(out.Grad, index)
 		c := g.Cols()
 		gd := g.Data()
-		for i, dst := range index {
-			inv := float32(1) / float32(counts[dst])
-			tensor.ScaleUnrolled(gd[i*c:(i+1)*c], inv)
-		}
-		values.accumGrad(g)
+		tensor.ParallelForGrain(len(index), tensor.GrainForCost(c), func(s, e int) {
+			for i := s; i < e; i++ {
+				inv := float32(1) / float32(counts[index[i]])
+				tensor.ScaleUnrolled(gd[i*c:(i+1)*c], inv)
+			}
+		})
+		values.accumGradOwned(g)
 	}, values)
 }
 
@@ -144,18 +150,23 @@ func ScatterMean(values *Value, index []int32, numOut int) *Value {
 func ScatterMax(values *Value, index []int32, numOut int) *Value {
 	data, argmax := scatterMaxWithArg(values.Data, index, numOut)
 	return newResult(data, func(out *Value) {
-		g := tensor.New(values.Data.Shape()...)
+		g := tensor.NewPooled(values.Data.Shape()...)
 		c := g.Cols()
 		gd, od := g.Data(), out.Grad.Data()
-		for r := 0; r < numOut; r++ {
-			for j := 0; j < c; j++ {
-				src := argmax[r*c+j]
-				if src >= 0 {
-					gd[int(src)*c+j] += od[r*c+j]
+		// Safe to parallelise over output rows: a source row i competes only
+		// in its own group index[i], so for a fixed column j each gd[i*c+j]
+		// is written by at most one r.
+		tensor.ParallelForGrain(numOut, tensor.GrainForCost(c), func(rs, re int) {
+			for r := rs; r < re; r++ {
+				for j := 0; j < c; j++ {
+					src := argmax[r*c+j]
+					if src >= 0 {
+						gd[int(src)*c+j] += od[r*c+j]
+					}
 				}
 			}
-		}
-		values.accumGrad(g)
+		})
+		values.accumGradOwned(g)
 	}, values)
 }
 
@@ -164,17 +175,20 @@ func ScatterMax(values *Value, index []int32, numOut int) *Value {
 func ScatterMin(values *Value, index []int32, numOut int) *Value {
 	data, argmin := scatterExtremeWithArg(values.Data, index, numOut, false)
 	return newResult(data, func(out *Value) {
-		g := tensor.New(values.Data.Shape()...)
+		g := tensor.NewPooled(values.Data.Shape()...)
 		c := g.Cols()
 		gd, od := g.Data(), out.Grad.Data()
-		for r := 0; r < numOut; r++ {
-			for j := 0; j < c; j++ {
-				if src := argmin[r*c+j]; src >= 0 {
-					gd[int(src)*c+j] += od[r*c+j]
+		// Disjoint writes per output row; see ScatterMax.
+		tensor.ParallelForGrain(numOut, tensor.GrainForCost(c), func(rs, re int) {
+			for r := rs; r < re; r++ {
+				for j := 0; j < c; j++ {
+					if src := argmin[r*c+j]; src >= 0 {
+						gd[int(src)*c+j] += od[r*c+j]
+					}
 				}
 			}
-		}
-		values.accumGrad(g)
+		})
+		values.accumGradOwned(g)
 	}, values)
 }
 
@@ -189,24 +203,40 @@ func scatterExtremeWithArg(values *tensor.Tensor, index []int32, numOut int, max
 	for i := range argmax {
 		argmax[i] = -1
 	}
-	vd, od := values.Data(), out.Data()
-	for i, dst := range index {
+	counts := make([]int32, numOut)
+	for _, dst := range index {
 		if dst < 0 || int(dst) >= numOut {
 			panic(fmt.Sprintf("nn: scatter index %d out of range [0,%d)", dst, numOut))
 		}
-		base := int(dst) * c
-		for j := 0; j < c; j++ {
-			v := vd[i*c+j]
-			better := v > od[base+j]
-			if !max {
-				better = v < od[base+j]
+		counts[dst]++
+	}
+	prefix := make([]int64, numOut+1)
+	for d, n := range counts {
+		prefix[d+1] = prefix[d] + int64(n)
+	}
+	vd, od := values.Data(), out.Data()
+	// Each worker owns a contribution-weighted range of destination rows and
+	// scans the whole index, touching only its own rows: disjoint writes,
+	// and a hub destination cannot serialise a chunk.
+	tensor.ParallelForWeighted(numOut, prefix, c, func(lo, hi int) {
+		for i, dst := range index {
+			if int(dst) < lo || int(dst) >= hi {
+				continue
 			}
-			if argmax[base+j] < 0 || better {
-				od[base+j] = v
-				argmax[base+j] = int32(i)
+			base := int(dst) * c
+			for j := 0; j < c; j++ {
+				v := vd[i*c+j]
+				better := v > od[base+j]
+				if !max {
+					better = v < od[base+j]
+				}
+				if argmax[base+j] < 0 || better {
+					od[base+j] = v
+					argmax[base+j] = int32(i)
+				}
 			}
 		}
-	}
+	})
 	return out, argmax
 }
 
@@ -218,23 +248,26 @@ func ScatterSoftmax(values *Value, index []int32, numOut int) *Value {
 	return newResult(data, func(out *Value) {
 		c := data.Cols()
 		// inner[g][j] = Σ_{i in group g} S[i][j] * dOut[i][j]
-		inner := tensor.New(numOut, c)
-		sd, od, id := data.Data(), out.Grad.Data(), inner.Data()
+		inner := tensor.GetBuf(numOut * c)
+		sd, od, id := data.Data(), out.Grad.Data(), inner
 		for i, dst := range index {
 			base := int(dst) * c
 			for j := 0; j < c; j++ {
 				id[base+j] += sd[i*c+j] * od[i*c+j]
 			}
 		}
-		g := tensor.New(values.Data.Shape()...)
+		g := tensor.NewUninit(values.Data.Shape()...)
 		gd := g.Data()
-		for i, dst := range index {
-			base := int(dst) * c
-			for j := 0; j < c; j++ {
-				gd[i*c+j] = sd[i*c+j] * (od[i*c+j] - id[base+j])
+		tensor.ParallelForGrain(len(index), tensor.GrainForCost(c), func(s, e int) {
+			for i := s; i < e; i++ {
+				base := int(index[i]) * c
+				for j := 0; j < c; j++ {
+					gd[i*c+j] = sd[i*c+j] * (od[i*c+j] - id[base+j])
+				}
 			}
-		}
-		values.accumGrad(g)
+		})
+		tensor.PutBuf(inner)
+		values.accumGradOwned(g)
 	}, values)
 }
 
@@ -252,21 +285,23 @@ func ReduceMiddle(a *Value, op tensor.ReduceOp) *Value {
 	g := a.Data.Dim(1)
 	return newResult(a.Data.ReduceMiddle(op), func(out *Value) {
 		n, d := a.Data.Dim(0), a.Data.Dim(2)
-		grad := tensor.New(n, g, d)
+		grad := tensor.NewUninit(n, g, d) // every element written below
 		scale := float32(1)
 		if op == tensor.ReduceMean {
 			scale = 1 / float32(g)
 		}
 		gd, od := grad.Data(), out.Grad.Data()
-		for i := 0; i < n; i++ {
-			for j := 0; j < g; j++ {
-				base := (i*g + j) * d
-				for k := 0; k < d; k++ {
-					gd[base+k] = od[i*d+k] * scale
+		tensor.ParallelForGrain(n, tensor.GrainForCost(g*d), func(is, ie int) {
+			for i := is; i < ie; i++ {
+				for j := 0; j < g; j++ {
+					base := (i*g + j) * d
+					for k := 0; k < d; k++ {
+						gd[base+k] = od[i*d+k] * scale
+					}
 				}
 			}
-		}
-		a.accumGrad(grad)
+		})
+		a.accumGradOwned(grad)
 	}, a)
 }
 
@@ -279,9 +314,9 @@ func MulBroadcast(col, feats *Value) *Value {
 		panic(fmt.Sprintf("nn: MulBroadcast col %v vs feats %v", col.Data.Shape(), feats.Data.Shape()))
 	}
 	n, d := feats.Data.Rows(), feats.Data.Dim(1)
-	out := tensor.New(n, d)
+	out := tensor.NewUninit(n, d) // every element written below
 	od, cd, fd := out.Data(), col.Data.Data(), feats.Data.Data()
-	tensor.ParallelFor(n, func(s, e int) {
+	tensor.ParallelForGrain(n, tensor.GrainForCost(d), func(s, e int) {
 		for i := s; i < e; i++ {
 			a := cd[i]
 			for j := 0; j < d; j++ {
@@ -291,10 +326,10 @@ func MulBroadcast(col, feats *Value) *Value {
 	})
 	return newResult(out, func(outV *Value) {
 		gd := outV.Grad.Data()
-		gc := tensor.New(n, 1)
-		gf := tensor.New(n, d)
+		gc := tensor.NewUninit(n, 1)
+		gf := tensor.NewUninit(n, d)
 		gcd, gfd := gc.Data(), gf.Data()
-		tensor.ParallelFor(n, func(s, e int) {
+		tensor.ParallelForGrain(n, tensor.GrainForCost(d), func(s, e int) {
 			for i := s; i < e; i++ {
 				a := cd[i]
 				var dot float32
@@ -306,8 +341,8 @@ func MulBroadcast(col, feats *Value) *Value {
 				gcd[i] = dot
 			}
 		})
-		col.accumGrad(gc)
-		feats.accumGrad(gf)
+		col.accumGradOwned(gc)
+		feats.accumGradOwned(gf)
 	}, col, feats)
 }
 
@@ -317,37 +352,41 @@ func MulBroadcast(col, feats *Value) *Value {
 // PyTorch GCN baseline builds on (§7.1).
 func SpMM(a, at *tensor.CSR, x *Value) *Value {
 	return newResult(a.SpMM(x.Data), func(out *Value) {
-		x.accumGrad(at.SpMM(out.Grad))
+		x.accumGradOwned(at.SpMM(out.Grad))
 	}, x)
 }
 
 func reduceMiddleMax(a *Value) *Value {
 	n, g, d := a.Data.Dim(0), a.Data.Dim(1), a.Data.Dim(2)
-	out := tensor.New(n, d)
+	out := tensor.NewUninit(n, d) // every element written below
 	argmax := make([]int32, n*d)
 	ad, od := a.Data.Data(), out.Data()
-	for i := 0; i < n; i++ {
-		base := i * g * d
-		copy(od[i*d:(i+1)*d], ad[base:base+d])
-		for j := 1; j < g; j++ {
-			for k := 0; k < d; k++ {
-				if v := ad[base+j*d+k]; v > od[i*d+k] {
-					od[i*d+k] = v
-					argmax[i*d+k] = int32(j)
+	tensor.ParallelForGrain(n, tensor.GrainForCost(g*d), func(is, ie int) {
+		for i := is; i < ie; i++ {
+			base := i * g * d
+			copy(od[i*d:(i+1)*d], ad[base:base+d])
+			for j := 1; j < g; j++ {
+				for k := 0; k < d; k++ {
+					if v := ad[base+j*d+k]; v > od[i*d+k] {
+						od[i*d+k] = v
+						argmax[i*d+k] = int32(j)
+					}
 				}
 			}
 		}
-	}
+	})
 	return newResult(out, func(outV *Value) {
-		grad := tensor.New(n, g, d)
+		grad := tensor.NewPooled(n, g, d)
 		gd, ogd := grad.Data(), outV.Grad.Data()
-		for i := 0; i < n; i++ {
-			for k := 0; k < d; k++ {
-				j := int(argmax[i*d+k])
-				gd[i*g*d+j*d+k] = ogd[i*d+k]
+		tensor.ParallelForGrain(n, tensor.GrainForCost(g*d), func(is, ie int) {
+			for i := is; i < ie; i++ {
+				for k := 0; k < d; k++ {
+					j := int(argmax[i*d+k])
+					gd[i*g*d+j*d+k] = ogd[i*d+k]
+				}
 			}
-		}
-		a.accumGrad(grad)
+		})
+		a.accumGradOwned(grad)
 	}, a)
 }
 
@@ -355,8 +394,9 @@ func reduceMiddleMax(a *Value) *Value {
 func MeanAll(a *Value) *Value {
 	data := tensor.FromSlice([]float32{a.Data.Mean()}, 1, 1)
 	return newResult(data, func(out *Value) {
-		g := tensor.Full(out.Grad.Data()[0]/float32(a.Data.Len()), a.Data.Shape()...)
-		a.accumGrad(g)
+		g := tensor.NewUninit(a.Data.Shape()...)
+		g.Fill(out.Grad.Data()[0] / float32(a.Data.Len()))
+		a.accumGradOwned(g)
 	}, a)
 }
 
@@ -376,6 +416,6 @@ func Dropout(a *Value, p float32, train bool, rng *tensor.RNG) *Value {
 		}
 	}
 	return newResult(a.Data.Mul(mask), func(out *Value) {
-		a.accumGrad(out.Grad.Mul(mask))
+		a.accumGradOwned(out.Grad.Mul(mask))
 	}, a)
 }

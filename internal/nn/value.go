@@ -66,15 +66,35 @@ func newResult(data *tensor.Tensor, backward func(out *Value), prev ...*Value) *
 }
 
 // accumGrad adds g into v.Grad, allocating it on first use. Nodes that do
-// not require grad ignore the call.
+// not require grad ignore the call. Accumulators come from the pooled
+// free list: interior-node accumulators are recycled at the end of every
+// backward pass, so steady-state training reuses the same buffers instead
+// of churning the GC.
 func (v *Value) accumGrad(g *tensor.Tensor) {
 	if !v.requiresGrad {
 		return
 	}
 	if v.Grad == nil {
-		v.Grad = tensor.New(v.Data.Shape()...)
+		v.Grad = tensor.NewPooled(v.Data.Shape()...)
 	}
 	v.Grad.AddInPlace(g)
+}
+
+// accumGradOwned is accumGrad for a gradient tensor the caller owns and
+// will not touch again: on first accumulation the tensor is adopted as the
+// accumulator outright (saving a zero-fill and a full add pass), and
+// otherwise its buffer is recycled after the add.
+func (v *Value) accumGradOwned(g *tensor.Tensor) {
+	if !v.requiresGrad {
+		tensor.Recycle(g)
+		return
+	}
+	if v.Grad == nil {
+		v.Grad = g
+		return
+	}
+	v.Grad.AddInPlace(g)
+	tensor.Recycle(g)
 }
 
 // ZeroGrad clears the accumulated gradient.
@@ -95,16 +115,31 @@ func (v *Value) Backward() {
 
 // BackwardWith seeds the backward pass with dOut and propagates gradients to
 // every reachable leaf that requires grad.
+//
+// When the pass completes, the gradient accumulators of interior nodes
+// (anything produced by an operation, as opposed to leaves) are recycled
+// into the pooled free list and their Grad reset to nil: only leaf
+// gradients — parameters and explicitly created leaves — survive the call.
+// Interior gradients were never part of the package's observable contract;
+// recycling them makes steady-state training reuse one step's gradient
+// buffers for the next step's activations.
 func (v *Value) BackwardWith(dOut *tensor.Tensor) {
 	order := topoSort(v)
 	if v.Grad == nil {
-		v.Grad = tensor.New(v.Data.Shape()...)
+		v.Grad = tensor.NewPooled(v.Data.Shape()...)
 	}
 	v.Grad.AddInPlace(dOut)
 	for i := len(order) - 1; i >= 0; i-- {
 		n := order[i]
 		if n.backward != nil && n.Grad != nil {
 			n.backward()
+		}
+	}
+	for _, n := range order {
+		if n.backward != nil && n.Grad != nil {
+			g := n.Grad
+			n.Grad = nil
+			tensor.Recycle(g)
 		}
 	}
 }

@@ -1,0 +1,170 @@
+package tensor
+
+// Microbenchmarks for the hot-path kernel overhaul. Each benchmark has a
+// "seed" sub-benchmark replicating the pre-overhaul kernel (fresh zeroed
+// allocations, serial or count-split loops) and an "opt" sub-benchmark
+// running the current implementation, so before/after throughput and
+// allocs/op come from one `go test -bench` run:
+//
+//	go test -run xxx -bench 'Kernel' -benchmem ./internal/tensor/
+//
+// Results are recorded in BENCH_kernels.json at the repo root.
+
+import (
+	"math"
+	"testing"
+)
+
+// powerLawIndex draws n group assignments over [0, numOut) with a heavy
+// skew: a handful of hub groups receive most of the assignments, the shape
+// that serialises count-split scatter kernels.
+func powerLawIndex(rng *RNG, n, numOut int) []int32 {
+	idx := make([]int32, n)
+	for i := range idx {
+		u := float64(rng.Float32())
+		idx[i] = int32(float64(numOut) * u * u * u * u)
+		if int(idx[i]) >= numOut {
+			idx[i] = int32(numOut - 1)
+		}
+	}
+	return idx
+}
+
+// seedScatter replicates the pre-overhaul scatter kernel: zero/Inf-filled
+// fresh output, one serial pass over the index with incremental validation.
+func seedScatter(values *Tensor, index []int32, numOut int, op ReduceOp) *Tensor {
+	c := values.Cols()
+	out := New(numOut, c)
+	switch op {
+	case ReduceMax:
+		out.Fill(float32(math.Inf(-1)))
+	case ReduceMin:
+		out.Fill(float32(math.Inf(1)))
+	}
+	counts := make([]int32, numOut)
+	for i, dst := range index {
+		counts[dst]++
+		drow := out.data[int(dst)*c : int(dst+1)*c]
+		srow := values.data[i*c : (i+1)*c]
+		switch op {
+		case ReduceSum, ReduceMean:
+			AddUnrolled(drow, srow)
+		case ReduceMax:
+			MaxUnrolled(drow, srow)
+		case ReduceMin:
+			MinUnrolled(drow, srow)
+		}
+	}
+	for r := 0; r < numOut; r++ {
+		drow := out.data[r*c : (r+1)*c]
+		if counts[r] == 0 {
+			clear(drow)
+			continue
+		}
+		if op == ReduceMean {
+			ScaleUnrolled(drow, 1/float32(counts[r]))
+		}
+	}
+	return out
+}
+
+// seedMatMul replicates the pre-overhaul dense product: fresh zeroed output,
+// single k pass (no cache blocking), count-split rows.
+func seedMatMul(t, o *Tensor) *Tensor {
+	m, k, n := t.Dim(0), t.Dim(1), o.Dim(1)
+	out := New(m, n)
+	ParallelFor(m, func(rs, re int) {
+		for i := rs; i < re; i++ {
+			ti := t.data[i*k : (i+1)*k]
+			oi := out.data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				a := ti[p]
+				if a == 0 {
+					continue
+				}
+				AxpyUnrolled(oi, o.data[p*n:(p+1)*n], a)
+			}
+		}
+	})
+	return out
+}
+
+func seedGather(src *Tensor, index []int32) *Tensor {
+	c := src.Cols()
+	out := New(len(index), c)
+	ParallelFor(len(index), func(s, e int) {
+		for i := s; i < e; i++ {
+			copy(out.data[i*c:(i+1)*c], src.Row(int(index[i])))
+		}
+	})
+	return out
+}
+
+func BenchmarkKernelMatMul(b *testing.B) {
+	rng := NewRNG(1)
+	m, k, n := 256, 1024, 128
+	a := RandN(rng, 1, m, k)
+	w := RandN(rng, 1, k, n)
+	b.Run("seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seedMatMul(a, w)
+		}
+	})
+	b.Run("opt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Recycle(a.MatMul(w))
+		}
+	})
+	b.Run("opt-noblock", func(b *testing.B) {
+		SetBlockedMatMul(false)
+		defer SetBlockedMatMul(true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Recycle(a.MatMul(w))
+		}
+	})
+}
+
+func benchScatterOp(b *testing.B, op ReduceOp) {
+	rng := NewRNG(2)
+	numOut, edges, dim := 20000, 120000, 64
+	index := powerLawIndex(rng, edges, numOut)
+	values := RandN(rng, 1, edges, dim)
+	b.Run("seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seedScatter(values, index, numOut, op)
+		}
+	})
+	b.Run("opt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Recycle(scatter(values, index, numOut, op))
+		}
+	})
+}
+
+func BenchmarkKernelScatterSum(b *testing.B)  { benchScatterOp(b, ReduceSum) }
+func BenchmarkKernelScatterMean(b *testing.B) { benchScatterOp(b, ReduceMean) }
+func BenchmarkKernelScatterMax(b *testing.B)  { benchScatterOp(b, ReduceMax) }
+
+func BenchmarkKernelGather(b *testing.B) {
+	rng := NewRNG(3)
+	numRows, edges, dim := 20000, 120000, 64
+	index := powerLawIndex(rng, edges, numRows)
+	src := RandN(rng, 1, numRows, dim)
+	b.Run("seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seedGather(src, index)
+		}
+	})
+	b.Run("opt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Recycle(Gather(src, index))
+		}
+	})
+}

@@ -2,45 +2,62 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+	"sync/atomic"
 )
 
-// maxProcs bounds the parallelism of tensor kernels.
-var maxProcs = runtime.GOMAXPROCS(0)
+// The axpy-style dense products below (MatMul and TMatMul, the Update-stage
+// hot path) are cache-blocked over the shared k dimension when the right
+// operand is too large to stay cache-resident: the operand is walked one
+// [kb, n] panel at a time, sized by kBlockFor, so the panel is hot across
+// every row of the worker's range instead of being re-streamed from memory
+// per row. MatMulT is deliberately not blocked — its inner loop is a
+// contiguous dot over both operands already, and splitting those dots into
+// k-segments measured strictly slower. SetBlockedMatMul(false) restores the
+// seed single-pass loops for the ablation benches.
 
-// ParallelFor splits [0, n) into roughly equal chunks and runs body on each
-// chunk concurrently. body receives [start, end). Small n runs inline.
-func ParallelFor(n int, body func(start, end int)) {
+var blockingOff atomic.Bool
+
+// SetBlockedMatMul toggles k-dimension cache blocking in MatMul and TMatMul.
+// When off, the kernels use the seed single-pass traversal.
+func SetBlockedMatMul(on bool) { blockingOff.Store(!on) }
+
+// BlockedMatMul reports whether cache blocking is enabled.
+func BlockedMatMul() bool { return !blockingOff.Load() }
+
+// panelFloats bounds the right-operand panel to 64 KiB (16Ki float32), small
+// enough to stay resident in a typical 128–512 KiB L2 alongside the output
+// row being accumulated.
+const panelFloats = 1 << 14
+
+// blockThresholdFloats is the right-operand size (k*n floats, 1 MiB) below
+// which the whole operand stays cache-resident across rows on typical L2/L3
+// sizes and blocking is pure loop overhead.
+const blockThresholdFloats = 1 << 18
+
+// kBlockFor picks the k-tile so a [kb, n]-float panel fits panelFloats.
+func kBlockFor(n int) int {
 	if n <= 0 {
-		return
+		return 64
 	}
-	workers := maxProcs
-	if workers > n {
-		workers = n
+	kb := panelFloats / n
+	if kb < 8 {
+		kb = 8
 	}
-	if workers <= 1 || n < 64 {
-		body(0, n)
-		return
+	if kb > 512 {
+		kb = 512
 	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		start := w * chunk
-		if start >= n {
-			break
+	return kb
+}
+
+// matmulKB returns the k-tile for an axpy-style product with a [k, n] right
+// operand, or k (a single pass) when blocking is off or unprofitable.
+func matmulKB(k, n int) int {
+	if BlockedMatMul() && k*n > blockThresholdFloats {
+		if kb := kBlockFor(n); kb < k {
+			return kb
 		}
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			body(s, e)
-		}(start, end)
 	}
-	wg.Wait()
+	return k
 }
 
 // MatMul returns t @ o for 2-D tensors [m,k] x [k,n] -> [m,n]. Rows are
@@ -51,17 +68,24 @@ func (t *Tensor) MatMul(o *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", t.shape, o.shape))
 	}
 	m, k, n := t.Dim(0), t.Dim(1), o.Dim(1)
-	out := New(m, n)
-	ParallelFor(m, func(rs, re int) {
-		for i := rs; i < re; i++ {
-			ti := t.data[i*k : (i+1)*k]
-			oi := out.data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				a := ti[p]
-				if a == 0 {
-					continue
+	out := NewPooled(m, n)
+	kb := matmulKB(k, n)
+	ParallelForGrain(m, GrainForCost(k*n), func(rs, re int) {
+		for p0 := 0; p0 < k; p0 += kb {
+			p1 := p0 + kb
+			if p1 > k {
+				p1 = k
+			}
+			for i := rs; i < re; i++ {
+				ti := t.data[i*k : (i+1)*k]
+				oi := out.data[i*n : (i+1)*n]
+				for p := p0; p < p1; p++ {
+					a := ti[p]
+					if a == 0 {
+						continue
+					}
+					AxpyUnrolled(oi, o.data[p*n:(p+1)*n], a)
 				}
-				AxpyUnrolled(oi, o.data[p*n:(p+1)*n], a)
 			}
 		}
 	})
@@ -70,18 +94,21 @@ func (t *Tensor) MatMul(o *Tensor) *Tensor {
 
 // MatMulT returns t @ oᵀ for 2-D tensors [m,k] x [n,k] -> [m,n]. Using the
 // transposed right operand keeps both inner accesses sequential, which is
-// the layout the backward pass of Linear needs.
+// the layout the backward pass of Linear needs. Each output element is one
+// contiguous dot product, so no cache blocking applies (see the file
+// comment).
 func (t *Tensor) MatMulT(o *Tensor) *Tensor {
 	if t.Dims() != 2 || o.Dims() != 2 || t.Dim(1) != o.Dim(1) {
 		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %v x %vᵀ", t.shape, o.shape))
 	}
 	m, k, n := t.Dim(0), t.Dim(1), o.Dim(0)
-	out := New(m, n)
-	ParallelFor(m, func(rs, re int) {
+	out := NewUninit(m, n) // every element written below
+	ParallelForGrain(m, GrainForCost(k*n), func(rs, re int) {
 		for i := rs; i < re; i++ {
 			ti := t.data[i*k : (i+1)*k]
+			oi := out.data[i*n : (i+1)*n]
 			for j := 0; j < n; j++ {
-				out.data[i*n+j] = DotUnrolled(ti, o.data[j*k:(j+1)*k])
+				oi[j] = DotUnrolled(ti, o.data[j*k:(j+1)*k])
 			}
 		}
 	})
@@ -95,35 +122,63 @@ func (t *Tensor) TMatMul(o *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: TMatMul shape mismatch %vᵀ x %v", t.shape, o.shape))
 	}
 	k, m, n := t.Dim(0), t.Dim(1), o.Dim(1)
-	out := New(m, n)
+	out := NewPooled(m, n)
+	kb := matmulKB(k, n)
 	// Parallelize over output rows; each output row i accumulates
 	// t[p][i] * o[p][:] over all p, so every worker writes a disjoint range.
-	ParallelFor(m, func(rs, re int) {
-		for i := rs; i < re; i++ {
-			oi := out.data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				a := t.data[p*m+i]
-				if a == 0 {
-					continue
+	ParallelForGrain(m, GrainForCost(k*n), func(rs, re int) {
+		for p0 := 0; p0 < k; p0 += kb {
+			p1 := p0 + kb
+			if p1 > k {
+				p1 = k
+			}
+			for i := rs; i < re; i++ {
+				oi := out.data[i*n : (i+1)*n]
+				for p := p0; p < p1; p++ {
+					a := t.data[p*m+i]
+					if a == 0 {
+						continue
+					}
+					AxpyUnrolled(oi, o.data[p*n:(p+1)*n], a)
 				}
-				AxpyUnrolled(oi, o.data[p*n:(p+1)*n], a)
 			}
 		}
 	})
 	return out
 }
 
-// Transpose2D returns the transpose of a 2-D tensor as a new tensor.
+// transposeTile is the square tile edge for Transpose2D; 32x32 float32 tiles
+// (4 KiB in, 4 KiB out) keep both access patterns cache-resident.
+const transposeTile = 32
+
+// Transpose2D returns the transpose of a 2-D tensor as a new tensor. Row
+// ranges transpose in parallel and each range is walked in square tiles so
+// the strided writes stay within a cache-resident window.
 func (t *Tensor) Transpose2D() *Tensor {
 	if t.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: Transpose2D on shape %v", t.shape))
 	}
 	m, n := t.Dim(0), t.Dim(1)
-	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.data[j*m+i] = t.data[i*n+j]
+	out := NewUninit(n, m) // every element is written below
+	ParallelForGrain(m, GrainForCost(n), func(rs, re int) {
+		for i0 := rs; i0 < re; i0 += transposeTile {
+			i1 := i0 + transposeTile
+			if i1 > re {
+				i1 = re
+			}
+			for j0 := 0; j0 < n; j0 += transposeTile {
+				j1 := j0 + transposeTile
+				if j1 > n {
+					j1 = n
+				}
+				for i := i0; i < i1; i++ {
+					row := t.data[i*n : (i+1)*n]
+					for j := j0; j < j1; j++ {
+						out.data[j*m+i] = row[j]
+					}
+				}
+			}
 		}
-	}
+	})
 	return out
 }

@@ -1,0 +1,283 @@
+package tensor
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// withKernelConfig runs f under the given parallelism / pool toggle and
+// restores the defaults afterwards.
+func withKernelConfig(t *testing.T, par int, pool bool, f func()) {
+	t.Helper()
+	SetParallelism(par)
+	SetWorkerPool(pool)
+	defer func() {
+		SetParallelism(0)
+		SetWorkerPool(true)
+	}()
+	f()
+}
+
+func checkExactCover(t *testing.T, n int, hits []int32, label string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if hits[i] != 1 {
+			t.Fatalf("%s: index %d visited %d times", label, i, hits[i])
+		}
+	}
+}
+
+func TestParallelForGrainCoversExactlyOnce(t *testing.T) {
+	for _, pool := range []bool{true, false} {
+		withKernelConfig(t, 8, pool, func() {
+			for _, tc := range []struct{ n, grain int }{
+				{1, 0}, {63, 0}, {64, 0}, {65, 0}, {1000, 0},
+				{1000, 1}, {1000, 7}, {1000, 1000}, {1000, 5000},
+				{17, 3}, {100000, 0},
+			} {
+				hits := make([]int32, tc.n)
+				ParallelForGrain(tc.n, tc.grain, func(s, e int) {
+					if s < 0 || e > tc.n || s >= e {
+						t.Errorf("bad chunk [%d,%d) for n=%d", s, e, tc.n)
+						return
+					}
+					for i := s; i < e; i++ {
+						hits[i]++ // chunks are disjoint; -race verifies
+					}
+				})
+				checkExactCover(t, tc.n, hits, "grain")
+			}
+		})
+	}
+}
+
+func TestParallelForWeightedCoversExactlyOnce(t *testing.T) {
+	for _, pool := range []bool{true, false} {
+		withKernelConfig(t, 8, pool, func() {
+			// Power-law-ish weights: one hub with most of the edges, a few
+			// mid rows, a long tail of zeros.
+			n := 4000
+			prefix := make([]int64, n+1)
+			for i := 0; i < n; i++ {
+				w := int64(0)
+				switch {
+				case i == 17:
+					w = 1 << 20
+				case i%97 == 0:
+					w = 512
+				case i%7 == 0:
+					w = 3
+				}
+				prefix[i+1] = prefix[i] + w
+			}
+			hits := make([]int32, n)
+			ParallelForWeighted(n, prefix, 16, func(s, e int) {
+				for i := s; i < e; i++ {
+					hits[i]++
+				}
+			})
+			checkExactCover(t, n, hits, "weighted")
+
+			// All-zero weights must still cover every index once.
+			zero := make([]int64, n+1)
+			hits = make([]int32, n)
+			ParallelForWeighted(n, zero, 1<<20, func(s, e int) {
+				for i := s; i < e; i++ {
+					hits[i]++
+				}
+			})
+			checkExactCover(t, n, hits, "zero-weight")
+		})
+	}
+}
+
+// A prefix array with a nonzero base (a sub-range of a larger CSR pointer)
+// must weigh items relative to prefix[0].
+func TestParallelForWeightedNonzeroBase(t *testing.T) {
+	withKernelConfig(t, 8, true, func() {
+		n := 300
+		prefix := make([]int64, n+1)
+		prefix[0] = 1 << 40
+		for i := 0; i < n; i++ {
+			prefix[i+1] = prefix[i] + int64(i%13)
+		}
+		hits := make([]int32, n)
+		ParallelForWeighted(n, prefix, 64, func(s, e int) {
+			for i := s; i < e; i++ {
+				hits[i]++
+			}
+		})
+		checkExactCover(t, n, hits, "nonzero-base")
+	})
+}
+
+// Nested ParallelFor must not deadlock: with an unbuffered dispatch channel,
+// inner calls fall back to inline execution when every worker is busy.
+func TestNestedParallelForNoDeadlock(t *testing.T) {
+	withKernelConfig(t, 8, true, func() {
+		var total atomic.Int64
+		outer, inner := 512, 3000
+		ParallelForGrain(outer, 1, func(s, e int) {
+			for i := s; i < e; i++ {
+				ParallelForGrain(inner, 1, func(is, ie int) {
+					total.Add(int64(ie - is))
+				})
+			}
+		})
+		if got := total.Load(); got != int64(outer)*int64(inner) {
+			t.Fatalf("nested cover = %d, want %d", got, int64(outer)*int64(inner))
+		}
+	})
+}
+
+func TestGrainForCost(t *testing.T) {
+	if g := GrainForCost(0); g != defaultGrain {
+		t.Fatalf("GrainForCost(0) = %d, want default %d", g, defaultGrain)
+	}
+	if g := GrainForCost(1); g != minParallelCost {
+		t.Fatalf("GrainForCost(1) = %d, want %d", g, minParallelCost)
+	}
+	if g := GrainForCost(minParallelCost * 2); g != 1 {
+		t.Fatalf("huge item cost should give grain 1, got %d", g)
+	}
+}
+
+func TestGetBufZeroedAfterDirtyPut(t *testing.T) {
+	SetBufferPooling(true)
+	defer SetBufferPooling(true)
+	// Use an odd size so the class round-up path is exercised.
+	b := GetBuf(1000)
+	if len(b) != 1000 {
+		t.Fatalf("len = %d", len(b))
+	}
+	for i := range b {
+		if b[i] != 0 {
+			t.Fatalf("fresh buffer not zeroed at %d", i)
+		}
+		b[i] = 42
+	}
+	PutBuf(b)
+	// The recycled buffer must come back zeroed from GetBuf...
+	c := GetBuf(900)
+	for i := range c {
+		if c[i] != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d", i)
+		}
+	}
+	PutBuf(c)
+	// ...and GetBufUninit makes no such promise but must have the right size.
+	d := GetBufUninit(1024)
+	if len(d) != 1024 {
+		t.Fatalf("uninit len = %d", len(d))
+	}
+	PutBuf(d)
+}
+
+func TestBufferPoolingOff(t *testing.T) {
+	SetBufferPooling(false)
+	defer SetBufferPooling(true)
+	b := GetBuf(100)
+	b[0] = 7
+	PutBuf(b) // must be a no-op
+	c := GetBufUninit(100)
+	if len(c) != 100 {
+		t.Fatalf("len = %d", len(c))
+	}
+	if BufferPooling() {
+		t.Fatal("BufferPooling() should report off")
+	}
+}
+
+func TestRecyclePoisonsTensor(t *testing.T) {
+	x := NewPooled(4, 4)
+	Recycle(x)
+	if x.data != nil {
+		t.Fatal("recycled tensor must be poisoned")
+	}
+	Recycle(x)   // double recycle is a no-op
+	Recycle(nil) // nil is a no-op
+}
+
+func TestArenaLifecycle(t *testing.T) {
+	var a Arena
+	x := a.New(8, 8)
+	y := a.NewUninit(3, 5)
+	if x.Len() != 64 || y.Len() != 15 {
+		t.Fatalf("arena shapes wrong: %v %v", x.Shape(), y.Shape())
+	}
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatal("Arena.New must zero")
+		}
+	}
+	if a.Live() != 2 {
+		t.Fatalf("Live = %d, want 2", a.Live())
+	}
+	a.Reset()
+	if a.Live() != 0 {
+		t.Fatalf("Live after Reset = %d", a.Live())
+	}
+	if x.data != nil || y.data != nil {
+		t.Fatal("Reset must poison tracked tensors")
+	}
+
+	// A nil arena degrades to plain allocation.
+	var nilA *Arena
+	z := nilA.New(2, 2)
+	if z.Len() != 4 || nilA.Live() != 0 {
+		t.Fatal("nil arena must allocate untracked")
+	}
+	nilA.Reset() // no-op, must not panic
+}
+
+// Cache-blocked dense kernels must agree with the seed single-pass loops.
+func TestBlockedMatMulMatchesUnblocked(t *testing.T) {
+	rng := NewRNG(11)
+	m, k, n := 9, 1500, 7 // k large enough to span several panels at n=7
+	a := RandN(rng, 1, m, k)
+	b := RandN(rng, 1, k, n)
+	bt := b.Transpose2D()
+
+	SetBlockedMatMul(false)
+	wantMM := a.MatMul(b)
+	wantMMT := a.MatMulT(bt)
+	at := a.Transpose2D()
+	wantTMM := at.TMatMul(b)
+	SetBlockedMatMul(true)
+	defer SetBlockedMatMul(true)
+
+	if got := a.MatMul(b); !got.ApproxEqual(wantMM, 1e-4) {
+		t.Fatal("blocked MatMul disagrees")
+	}
+	if got := a.MatMulT(bt); !got.ApproxEqual(wantMMT, 1e-4) {
+		t.Fatal("blocked MatMulT disagrees")
+	}
+	if got := at.TMatMul(b); !got.ApproxEqual(wantTMM, 1e-4) {
+		t.Fatal("blocked TMatMul disagrees")
+	}
+}
+
+// The worker-pool toggle and parallelism accessors round-trip.
+func TestKernelToggles(t *testing.T) {
+	SetWorkerPool(false)
+	if WorkerPoolEnabled() {
+		t.Fatal("pool should be off")
+	}
+	SetWorkerPool(true)
+	if !WorkerPoolEnabled() {
+		t.Fatal("pool should be on")
+	}
+	SetParallelism(3)
+	if Parallelism() != 3 {
+		t.Fatalf("Parallelism = %d", Parallelism())
+	}
+	SetParallelism(0) // restore GOMAXPROCS default
+	if Parallelism() < 1 {
+		t.Fatal("default parallelism must be >= 1")
+	}
+	SetBlockedMatMul(false)
+	if BlockedMatMul() {
+		t.Fatal("blocking should be off")
+	}
+	SetBlockedMatMul(true)
+}

@@ -76,7 +76,7 @@ func (t *Tensor) ReduceMiddle(op ReduceOp) *Tensor {
 		}
 		return out
 	}
-	ParallelFor(n, func(rs, re int) {
+	ParallelForGrain(n, GrainForCost(g*d), func(rs, re int) {
 		for i := rs; i < re; i++ {
 			dst := out.data[i*d : (i+1)*d]
 			base := i * g * d

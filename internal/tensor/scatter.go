@@ -11,8 +11,8 @@ import (
 // exactly the memory blow-up the paper's feature-fusion operator avoids.
 func Gather(src *Tensor, index []int32) *Tensor {
 	c := src.Cols()
-	out := New(len(index), c)
-	ParallelFor(len(index), func(s, e int) {
+	out := NewUninit(len(index), c) // every row is written below
+	ParallelForGrain(len(index), GrainForCost(c), func(s, e int) {
 		for i := s; i < e; i++ {
 			copy(out.data[i*c:(i+1)*c], src.Row(int(index[i])))
 		}
@@ -45,48 +45,79 @@ func ScatterMin(values *Tensor, index []int32, numOut int) *Tensor {
 	return scatter(values, index, numOut, ReduceMin)
 }
 
+// scatterCountsChecked counts contributions per output row, panicking on an
+// out-of-range index (the validation the serial seed loop performed
+// incrementally).
+func scatterCountsChecked(index []int32, numOut int) []int32 {
+	counts := make([]int32, numOut)
+	for _, dst := range index {
+		if dst < 0 || int(dst) >= numOut {
+			panic(fmt.Sprintf("tensor: scatter index %d out of range [0,%d)", dst, numOut))
+		}
+		counts[dst]++
+	}
+	return counts
+}
+
 func scatter(values *Tensor, index []int32, numOut int, op ReduceOp) *Tensor {
 	if values.Rows() != len(index) {
 		panic(fmt.Sprintf("tensor: scatter values rows %d != index length %d", values.Rows(), len(index)))
 	}
 	c := values.Cols()
-	out := New(numOut, c)
+	counts := scatterCountsChecked(index, numOut)
+	out := NewUninit(numOut, c)
+	init := float32(0)
 	switch op {
 	case ReduceMax:
-		out.Fill(float32(math.Inf(-1)))
+		init = float32(math.Inf(-1))
 	case ReduceMin:
-		out.Fill(float32(math.Inf(1)))
+		init = float32(math.Inf(1))
 	}
-	counts := make([]int32, numOut)
-	for i, dst := range index {
-		if dst < 0 || int(dst) >= numOut {
-			panic(fmt.Sprintf("tensor: scatter index %d out of range [0,%d)", dst, numOut))
-		}
-		counts[dst]++
-		drow := out.data[int(dst)*c : int(dst+1)*c]
-		srow := values.data[i*c : (i+1)*c]
-		switch op {
-		case ReduceSum, ReduceMean:
-			AddUnrolled(drow, srow)
-		case ReduceMax:
-			MaxUnrolled(drow, srow)
-		case ReduceMin:
-			MinUnrolled(drow, srow)
-		}
+	// Writes are partitioned by destination row: each worker owns a
+	// contiguous [lo, hi) range of output rows, scans the (cheap, int32)
+	// index array, and accumulates only its own rows — disjoint writes, no
+	// atomics. The ranges are weighted by contribution counts so a hub
+	// destination cannot serialise a whole chunk.
+	prefix := make([]int64, numOut+1)
+	for d, n := range counts {
+		prefix[d+1] = prefix[d] + int64(n)
 	}
-	for r := 0; r < numOut; r++ {
-		drow := out.data[r*c : (r+1)*c]
-		if counts[r] == 0 {
-			// Empty groups produce zero rows for every operator.
-			for j := range drow {
-				drow[j] = 0
+	ParallelForWeighted(numOut, prefix, c, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := out.data[r*c : (r+1)*c]
+			for j := range row {
+				row[j] = init
 			}
-			continue
 		}
-		if op == ReduceMean {
-			ScaleUnrolled(drow, 1/float32(counts[r]))
+		for i, dst := range index {
+			if int(dst) < lo || int(dst) >= hi {
+				continue
+			}
+			drow := out.data[int(dst)*c : int(dst+1)*c]
+			srow := values.data[i*c : (i+1)*c]
+			switch op {
+			case ReduceSum, ReduceMean:
+				AddUnrolled(drow, srow)
+			case ReduceMax:
+				MaxUnrolled(drow, srow)
+			case ReduceMin:
+				MinUnrolled(drow, srow)
+			}
 		}
-	}
+		for r := lo; r < hi; r++ {
+			drow := out.data[r*c : (r+1)*c]
+			if counts[r] == 0 {
+				// Empty groups produce zero rows for every operator.
+				for j := range drow {
+					drow[j] = 0
+				}
+				continue
+			}
+			if op == ReduceMean {
+				ScaleUnrolled(drow, 1/float32(counts[r]))
+			}
+		}
+	})
 	return out
 }
 
@@ -99,35 +130,63 @@ func ScatterSoftmax(values *Tensor, index []int32, numOut int) *Tensor {
 		panic(fmt.Sprintf("tensor: scatter values rows %d != index length %d", values.Rows(), len(index)))
 	}
 	c := values.Cols()
-	// Pass 1: per-group column max for numeric stability.
-	maxes := Full(float32(math.Inf(-1)), numOut, c)
-	for i, dst := range index {
-		MaxUnrolled(maxes.data[int(dst)*c:int(dst+1)*c], values.data[i*c:(i+1)*c])
+	counts := scatterCountsChecked(index, numOut)
+	out := NewUninit(values.Rows(), c) // every row is written in pass 2
+	maxes := GetBufUninit(numOut * c)
+	sums := GetBufUninit(numOut * c)
+	prefix := make([]int64, numOut+1)
+	for d, n := range counts {
+		prefix[d+1] = prefix[d] + int64(n)
 	}
-	// Pass 2: exponentiate and accumulate per-group sums.
-	out := New(values.Rows(), c)
-	sums := New(numOut, c)
-	for i, dst := range index {
-		mrow := maxes.data[int(dst)*c : int(dst+1)*c]
-		srow := sums.data[int(dst)*c : int(dst+1)*c]
-		vrow := values.data[i*c : (i+1)*c]
-		orow := out.data[i*c : (i+1)*c]
-		for j := 0; j < c; j++ {
-			e := float32(math.Exp(float64(vrow[j] - mrow[j])))
-			orow[j] = e
-			srow[j] += e
+	// All three passes only touch the scratch rows of their own group range
+	// and the out rows whose index falls in that range, so the whole
+	// pipeline runs per-chunk without a global barrier between passes.
+	ParallelForWeighted(numOut, prefix, 3*c, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := maxes[r*c : (r+1)*c]
+			for j := range row {
+				row[j] = float32(math.Inf(-1))
+			}
+			clear(sums[r*c : (r+1)*c])
 		}
-	}
-	// Pass 3: normalise.
-	for i, dst := range index {
-		srow := sums.data[int(dst)*c : int(dst+1)*c]
-		orow := out.data[i*c : (i+1)*c]
-		for j := 0; j < c; j++ {
-			if srow[j] != 0 {
-				orow[j] /= srow[j]
+		// Pass 1: per-group column max for numeric stability.
+		for i, dst := range index {
+			if int(dst) < lo || int(dst) >= hi {
+				continue
+			}
+			MaxUnrolled(maxes[int(dst)*c:int(dst+1)*c], values.data[i*c:(i+1)*c])
+		}
+		// Pass 2: exponentiate and accumulate per-group sums.
+		for i, dst := range index {
+			if int(dst) < lo || int(dst) >= hi {
+				continue
+			}
+			mrow := maxes[int(dst)*c : int(dst+1)*c]
+			srow := sums[int(dst)*c : int(dst+1)*c]
+			vrow := values.data[i*c : (i+1)*c]
+			orow := out.data[i*c : (i+1)*c]
+			for j := 0; j < c; j++ {
+				e := float32(math.Exp(float64(vrow[j] - mrow[j])))
+				orow[j] = e
+				srow[j] += e
 			}
 		}
-	}
+		// Pass 3: normalise.
+		for i, dst := range index {
+			if int(dst) < lo || int(dst) >= hi {
+				continue
+			}
+			srow := sums[int(dst)*c : int(dst+1)*c]
+			orow := out.data[i*c : (i+1)*c]
+			for j := 0; j < c; j++ {
+				if srow[j] != 0 {
+					orow[j] /= srow[j]
+				}
+			}
+		}
+	})
+	PutBuf(maxes)
+	PutBuf(sums)
 	return out
 }
 

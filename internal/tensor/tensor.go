@@ -124,7 +124,7 @@ func (t *Tensor) offset(idx []int) int {
 
 // Clone returns a deep copy.
 func (t *Tensor) Clone() *Tensor {
-	out := New(t.shape...)
+	out := NewUninit(t.shape...)
 	copy(out.data, t.data)
 	return out
 }

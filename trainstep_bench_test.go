@@ -1,0 +1,54 @@
+package flexgraph
+
+// End-to-end training-step benchmark for the kernel overhaul: one GCN epoch
+// on a small Reddit-shaped dataset, run once with every kernel lever off
+// (the seed configuration: goroutine-per-call dispatch, plain allocations,
+// unblocked dense products, count-split fused ranges) and once with the
+// levers on. allocs/op is the headline number — with pooling on, steady-state
+// epochs recycle their aggregation outputs and gradient buffers instead of
+// churning the GC.
+//
+//	go test -run xxx -bench TrainStep -benchmem .
+//
+// Results are recorded in BENCH_kernels.json.
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/models"
+	"repro/internal/nau"
+	"repro/internal/tensor"
+)
+
+func setKernelLevers(on bool) {
+	tensor.SetWorkerPool(on)
+	tensor.SetBufferPooling(on)
+	tensor.SetBlockedMatMul(on)
+	engine.SetEdgeBalancedSplit(on)
+}
+
+func benchTrainStep(b *testing.B, on bool) {
+	setKernelLevers(on)
+	defer setKernelLevers(true)
+	d := dataset.RedditLike(dataset.Config{Scale: 0.3, Seed: 1})
+	model := models.NewGCN(d.FeatureDim(), 16, d.NumClasses, tensor.NewRNG(3))
+	tr := nau.NewTrainer(model, d.Graph, d.Features, d.Labels, d.TrainMask, 1)
+	tr.Engine = engine.New(engine.StrategyHA)
+	if _, err := tr.Epoch(); err != nil { // warm-up: build HDG/adjacency caches
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Epoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainStepGCN(b *testing.B) {
+	b.Run("seed-levers", func(b *testing.B) { benchTrainStep(b, false) })
+	b.Run("opt-levers", func(b *testing.B) { benchTrainStep(b, true) })
+}
