@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build test race vet fmt bench
+.PHONY: ci build test race vet fmt bench bench-comm
 
 ci: vet fmt race test
 
@@ -10,9 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the packages the kernel hot path touches.
+# Race-check the packages the kernel hot path and the communication plane
+# touch.
 race:
-	$(GO) test -race ./internal/tensor/... ./internal/engine/...
+	$(GO) test -race ./internal/tensor/... ./internal/engine/... \
+		./internal/rpc/... ./internal/collective/... ./internal/cluster/...
 
 vet:
 	$(GO) vet ./...
@@ -27,3 +29,13 @@ bench:
 	$(GO) test -run xxx -bench 'Kernel' -benchmem ./internal/tensor/
 	$(GO) test -run xxx -bench 'Fused' -benchmem ./internal/engine/
 	$(GO) test -run xxx -bench 'TrainStep' -benchmem .
+
+# Codec microbenchmarks; appends a machine-readable snapshot to
+# BENCH_comm.json (see that file for the recorded before/after numbers).
+bench-comm:
+	@$(GO) test -run xxx -bench 'Codec' -benchmem ./internal/rpc/ | tee /tmp/bench_comm.txt
+	@awk 'BEGIN { printf "{\n  \"benchmarks\": [\n"; first = 1 } \
+	/^Benchmark/ { if (!first) printf ",\n"; first = 0; \
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $$1, $$3, $$5, $$7, $$9 } \
+	END { printf "\n  ]\n}\n" }' /tmp/bench_comm.txt > BENCH_comm.latest.json
+	@echo "wrote BENCH_comm.latest.json"

@@ -36,7 +36,21 @@ func main() {
 	hidden := flag.Int("hidden", 16, "hidden width")
 	pipeline := flag.Bool("pipeline", true, "enable partial aggregation + pipeline processing")
 	seed := flag.Uint64("seed", 1, "random seed (must match across workers)")
+	gradSync := flag.String("gradsync", "ring", "gradient all-reduce: ring (≤2·|payload| bytes/worker) or broadcast ((k−1)·|payload|)")
+	ringChunk := flag.Int("ringchunk", 0, "ring all-reduce segment size in float32 words (0 = default)")
+	dialRetries := flag.Int("dial-retries", 0, "mesh dial attempts per peer (0 = default)")
+	dialBackoff := flag.Duration("dial-backoff", 0, "initial mesh dial retry delay (0 = default)")
 	flag.Parse()
+
+	var gs cluster.GradSync
+	switch *gradSync {
+	case "ring":
+		gs = cluster.GradSyncRing
+	case "broadcast":
+		gs = cluster.GradSyncBroadcast
+	default:
+		log.Fatalf("unknown -gradsync %q (want ring or broadcast)", *gradSync)
+	}
 
 	addrs := strings.Split(*addrList, ",")
 	if *rank < 0 || *rank >= len(addrs) {
@@ -70,6 +84,12 @@ func main() {
 		log.Fatal(err)
 	}
 	defer tr.Close()
+	if *dialRetries > 0 {
+		tr.DialAttempts = *dialRetries
+	}
+	if *dialBackoff > 0 {
+		tr.DialBackoff = *dialBackoff
+	}
 	log.Printf("worker %d listening on %s, connecting mesh of %d", *rank, tr.Addr(), len(addrs))
 	if err := tr.Connect(); err != nil {
 		log.Fatalf("mesh connect: %v", err)
@@ -81,6 +101,8 @@ func main() {
 		Strategy:   engine.StrategyHA,
 		Epochs:     *epochs,
 		Seed:       *seed,
+		GradSync:   gs,
+		RingChunk:  *ringChunk,
 	}
 	start := time.Now()
 	losses, breakdown, err := cluster.RunWorker(cfg, d, factory, tr)
@@ -93,4 +115,5 @@ func main() {
 	fmt.Printf("worker %d done in %v: sent %d messages, %d bytes\n",
 		*rank, time.Since(start).Round(time.Millisecond),
 		breakdown.MessagesSent.Load(), breakdown.BytesSent.Load())
+	fmt.Print(breakdown.TrafficTable())
 }

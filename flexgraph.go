@@ -30,6 +30,7 @@ package flexgraph
 
 import (
 	"repro/internal/cluster"
+	"repro/internal/collective"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -147,6 +148,35 @@ type (
 	PinSageConfig = models.PinSageConfig
 	// MAGNNConfig bounds MAGNN's metapath search.
 	MAGNNConfig = models.MAGNNConfig
+)
+
+// Collective-communication plane (gradient synchronisation + traffic
+// accounting knobs).
+type (
+	// GradSync selects the gradient all-reduce algorithm.
+	GradSync = cluster.GradSync
+	// MsgClass indexes per-kind traffic counters on a StageBreakdown.
+	MsgClass = metrics.MsgClass
+)
+
+const (
+	// GradSyncRing (default) is the chunked ring all-reduce: at most
+	// 2·|payload| bytes per worker, independent of the cluster size.
+	GradSyncRing = cluster.GradSyncRing
+	// GradSyncBroadcast is the all-to-all broadcast the ring replaced
+	// ((k−1)·|payload| bytes per worker); bit-identical results.
+	GradSyncBroadcast = cluster.GradSyncBroadcast
+
+	// DefaultRingChunk is the default all-reduce segment size in float32
+	// words (ClusterConfig.RingChunk overrides it).
+	DefaultRingChunk = collective.DefaultRingChunk
+
+	// Traffic classes for StageBreakdown.SentBytes / RecvBytes.
+	TrafficFeatures = metrics.ClassFeatures
+	TrafficPartials = metrics.ClassPartials
+	TrafficGrads    = metrics.ClassGrads
+	TrafficBarrier  = metrics.ClassBarrier
+	TrafficPlan     = metrics.ClassPlan
 )
 
 // NewRNG returns a deterministic random generator.

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/collective"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -15,6 +16,20 @@ import (
 	"repro/internal/partition"
 	"repro/internal/rpc"
 	"repro/internal/tensor"
+)
+
+// GradSync selects the gradient synchronisation algorithm.
+type GradSync int
+
+const (
+	// GradSyncRing (default) runs the chunked ring all-reduce: at most
+	// 2·|payload| bytes per worker, independent of the cluster size k.
+	GradSyncRing GradSync = iota
+	// GradSyncBroadcast runs the all-to-all broadcast the ring replaced
+	// ((k−1)·|payload| bytes per worker). Both algorithms sum in rank
+	// order, so their results are bit-identical; broadcast is kept as the
+	// equivalence reference and a debugging fallback.
+	GradSyncBroadcast
 )
 
 // Config controls a distributed training run.
@@ -33,6 +48,11 @@ type Config struct {
 	Epochs int
 	// Seed drives model init and neighbor selection.
 	Seed uint64
+	// GradSync selects the gradient all-reduce algorithm (default ring).
+	GradSync GradSync
+	// RingChunk overrides the ring all-reduce segment size in float32
+	// words (0 selects collective.DefaultRingChunk).
+	RingChunk int
 }
 
 // ModelFactory builds a fresh model replica; it is called once per worker
@@ -120,6 +140,12 @@ func RunWorker(cfg Config, d *dataset.Dataset, factory ModelFactory, tr rpc.Tran
 	if err != nil {
 		return nil, nil, err
 	}
+	// Fence the mesh before epoch 0: every worker must be connected and
+	// ready before the first plan exchange, and a broken link surfaces
+	// here as a barrier error rather than a mid-epoch hang.
+	if err := w.comm.Barrier(collective.Fence{Epoch: 0, Phase: 0}); err != nil {
+		return nil, nil, fmt.Errorf("cluster: worker %d startup barrier: %w", tr.Rank(), err)
+	}
 	losses := make([]float32, 0, cfg.Epochs)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		loss, err := w.runEpoch()
@@ -150,11 +176,12 @@ func newWorker(rank int, cfg Config, d *dataset.Dataset, factory ModelFactory, t
 	rng := tensor.NewRNG(cfg.Seed)
 	model := factory(rng)
 	params := model.Parameters()
+	breakdown := &metrics.Breakdown{}
 	w := &worker{
 		rank:      rank,
 		k:         cfg.NumWorkers,
 		cfg:       cfg,
-		tr:        tr,
+		comm:      collective.New(tr, breakdown, collective.WithRingChunk(cfg.RingChunk)),
 		g:         d.Graph,
 		owner:     p.Assign,
 		roots:     roots,
@@ -168,7 +195,7 @@ func newWorker(rank int, cfg Config, d *dataset.Dataset, factory ModelFactory, t
 		opt:       nn.NewAdam(params, 0.01),
 		eng:       engine.New(cfg.Strategy),
 		rng:       tensor.NewRNG(cfg.Seed + 1000),
-		breakdown: &metrics.Breakdown{},
+		breakdown: breakdown,
 		plans:     make(map[*engine.Adjacency]*workerPlan),
 	}
 	w.ctx = &nau.Context{
@@ -239,10 +266,11 @@ func selectSeeded(g *graph.Graph, schema *hdg.SchemaTree, udf nau.NeighborUDF, r
 	return records
 }
 
-// runEpoch executes one synchronous training epoch: neighbor selection,
-// layer-by-layer forward with distributed aggregation, local loss,
-// backward, gradient all-reduce, and an optimizer step identical on every
-// worker.
+// runEpoch executes one synchronous training epoch, each phase expressed
+// against the collective plane: neighbor selection, the layer-by-layer
+// forward pass (feature sync happens inside AggregateBottom as fenced
+// Exchanges), local loss and backward, the gradient all-reduce, and an
+// optimizer step identical on every worker.
 func (w *worker) runEpoch() (loss float32, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -256,9 +284,28 @@ func (w *worker) runEpoch() (loss float32, err error) {
 	w.ctx.RNG = w.rng
 	w.ctx.Train = true
 
-	// Every tensor stays local-width: the Aggregation stage receives this
-	// worker's rows, and remote contributions arrive as messages through
-	// the BottomAggregator hook.
+	hLocal := w.forward()
+	lossV, masked := w.localLoss(hLocal)
+	w.breakdown.Time(metrics.StageBackward, func() {
+		w.opt.ZeroGrad()
+		lossV.Backward()
+	})
+	globalLoss, err := w.syncGradients(lossV.Data.At(0, 0), masked)
+	if err != nil {
+		return 0, err
+	}
+	w.breakdown.Time(metrics.StageBackward, func() {
+		w.opt.Step()
+	})
+	w.epoch++
+	return globalLoss, nil
+}
+
+// forward runs the model's layers over this worker's partition. Every
+// tensor stays local-width: the Aggregation stage receives this worker's
+// rows, and remote contributions arrive through the BottomAggregator hook's
+// collective exchanges.
+func (w *worker) forward() *nn.Value {
 	hLocal := nn.Gather(nn.Constant(w.features), w.rootIdx)
 	for _, layer := range w.model.Layers {
 		var nbr *nn.Value
@@ -279,37 +326,35 @@ func (w *worker) runEpoch() (loss float32, err error) {
 			hLocal = layer.Update(w.ctx, hLocal, nbr)
 		})
 	}
+	return hLocal
+}
 
+// localLoss computes the masked cross-entropy over this worker's roots and
+// returns it with the masked-vertex count (the loss-weighting denominator
+// share).
+func (w *worker) localLoss(hLocal *nn.Value) (*nn.Value, int) {
 	labels := make([]int32, len(w.roots))
 	mask := make([]bool, len(w.roots))
-	m := 0
+	masked := 0
 	for i, v := range w.roots {
 		labels[i] = w.labels[v]
 		mask[i] = w.trainMask[v]
 		if mask[i] {
-			m++
+			masked++
 		}
 	}
-	lossV := nn.CrossEntropy(hLocal, labels, mask)
-	w.breakdown.Time(metrics.StageBackward, func() {
-		w.opt.ZeroGrad()
-		lossV.Backward()
-	})
-	globalLoss, err := w.allReduce(lossV.Data.At(0, 0), m)
-	if err != nil {
-		return 0, err
-	}
-	w.breakdown.Time(metrics.StageBackward, func() {
-		w.opt.Step()
-	})
-	w.epoch++
-	return globalLoss, nil
+	return nn.CrossEntropy(hLocal, labels, mask), masked
 }
 
-// allReduce exchanges parameter gradients with all peers, rescaling each
+// syncGradients all-reduces the flattened parameter gradients (plus the
+// loss and the masked count riding in the last two slots), rescaling each
 // worker's contribution by its masked-vertex count so the summed gradient
 // matches single-machine whole-graph training. Returns the global loss.
-func (w *worker) allReduce(localLoss float32, localCount int) (float32, error) {
+//
+// The default ring algorithm ships at most 2·|payload| bytes per worker
+// regardless of k; GradSyncBroadcast restores the (k−1)·|payload|
+// all-to-all, bit-identical by construction (both sum in rank order).
+func (w *worker) syncGradients(localLoss float32, localCount int) (float32, error) {
 	syncStart := time.Now()
 	defer func() { w.breakdown.Add(metrics.StageSync, time.Since(syncStart)) }()
 
@@ -333,34 +378,19 @@ func (w *worker) allReduce(localLoss float32, localCount int) (float32, error) {
 	payload[total] = localLoss * float32(localCount)
 	payload[total+1] = float32(localCount)
 
-	msg := &rpc.Message{
-		Kind:  rpc.KindGrads,
-		From:  int32(w.rank),
-		Epoch: w.epoch,
-		Data:  payload,
-		Dim:   1,
+	fence := collective.Fence{Epoch: w.epoch, Phase: 0}
+	var err error
+	switch w.cfg.GradSync {
+	case GradSyncBroadcast:
+		err = w.comm.AllReduceBroadcast(fence, payload, rpc.KindGrads)
+	default:
+		err = w.comm.AllReduce(fence, payload, rpc.KindGrads)
 	}
-	for q := 0; q < w.k; q++ {
-		if q == w.rank {
-			continue
-		}
-		w.countMsg(msg)
-		if err := w.tr.Send(q, msg); err != nil {
-			return 0, err
-		}
-	}
-	msgs, err := w.recvMatch(rpc.KindGrads, w.epoch, 0, w.k-1)
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("cluster: gradient all-reduce: %w", err)
 	}
-	sum := append([]float32(nil), payload...)
-	for _, m := range msgs {
-		if len(m.Data) != len(sum) {
-			return 0, fmt.Errorf("cluster: gradient payload size mismatch")
-		}
-		tensor.AddUnrolled(sum, m.Data)
-	}
-	totalCount := sum[total+1]
+
+	totalCount := payload[total+1]
 	if totalCount == 0 {
 		totalCount = 1
 	}
@@ -372,9 +402,9 @@ func (w *worker) allReduce(localLoss float32, localCount int) (float32, error) {
 		}
 		gd := p.Grad.Data()
 		for i := range gd {
-			gd[i] = sum[off] * inv
+			gd[i] = payload[off] * inv
 			off++
 		}
 	}
-	return sum[total] * inv, nil
+	return payload[total] * inv, nil
 }

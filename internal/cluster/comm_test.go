@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// TestRingAndBroadcastLossesBitIdentical is the refactor equivalence check:
+// the chunked ring all-reduce and the pre-refactor broadcast both sum
+// gradients in rank order, so every per-epoch loss must match bit for bit —
+// not approximately.
+func TestRingAndBroadcastLossesBitIdentical(t *testing.T) {
+	d := dataset.RedditLike(dataset.Config{Scale: 0.02, Seed: 30})
+	for _, k := range []int{2, 4} {
+		var ref []float32
+		for _, gs := range []GradSync{GradSyncBroadcast, GradSyncRing} {
+			res, err := Train(Config{NumWorkers: k, Pipeline: true, Strategy: engine.StrategyHA,
+				Epochs: 4, Seed: 31, GradSync: gs}, d, gcnFactory(d))
+			if err != nil {
+				t.Fatalf("k=%d gradsync=%d: %v", k, gs, err)
+			}
+			if ref == nil {
+				ref = res.Losses
+				continue
+			}
+			for i := range ref {
+				if res.Losses[i] != ref[i] {
+					t.Fatalf("k=%d epoch %d: ring loss %x != broadcast loss %x",
+						k, i, res.Losses[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGradientBytesBoundedByTwicePayload asserts the headline property of
+// the ring: each worker ships at most 2·|payload| gradient bytes per epoch
+// regardless of k, while broadcast ships (k−1)·|payload|.
+func TestGradientBytesBoundedByTwicePayload(t *testing.T) {
+	d := dataset.RedditLike(dataset.Config{Scale: 0.02, Seed: 32})
+	// |payload| = all parameter words + loss and mask-count slots.
+	words := 2
+	for _, p := range gcnFactory(d)(tensor.NewRNG(33)).Parameters() {
+		words += p.Data.Len()
+	}
+	const epochs, k = 3, 4
+	payload := int64(4 * words * epochs)
+	// 5% headroom covers per-chunk frame headers.
+	ringBound := payload*2 + payload/20
+
+	res, err := Train(Config{NumWorkers: k, Pipeline: true, Strategy: engine.StrategyHA,
+		Epochs: epochs, Seed: 33, GradSync: GradSyncRing}, d, gcnFactory(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, bd := range res.PerWorker {
+		got := bd.SentBytes(metrics.ClassGrads)
+		if got == 0 || got > ringBound {
+			t.Fatalf("ring k=%d rank=%d: %d gradient bytes, want (0, %d]", k, rank, got, ringBound)
+		}
+	}
+
+	res, err = Train(Config{NumWorkers: k, Pipeline: true, Strategy: engine.StrategyHA,
+		Epochs: epochs, Seed: 33, GradSync: GradSyncBroadcast}, d, gcnFactory(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, bd := range res.PerWorker {
+		if got := bd.SentBytes(metrics.ClassGrads); got < payload*(k-1) {
+			t.Fatalf("broadcast k=%d rank=%d: %d gradient bytes, want ≥ %d", k, rank, got, payload*(k-1))
+		}
+	}
+}
+
+// TestPerKindTrafficSplit checks that the Fig.15-style accounting actually
+// splits traffic by kind: a pipelined run moves plan, partial-aggregation
+// and gradient bytes; a raw run moves plan, feature and gradient bytes.
+func TestPerKindTrafficSplit(t *testing.T) {
+	d := dataset.RedditLike(dataset.Config{Scale: 0.02, Seed: 34})
+	for _, pipeline := range []bool{true, false} {
+		res, err := Train(Config{NumWorkers: 3, Pipeline: pipeline, Strategy: engine.StrategyHA,
+			Epochs: 2, Seed: 35}, d, gcnFactory(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Merged
+		if m.SentBytes(metrics.ClassPlan) == 0 {
+			t.Fatalf("pipeline=%v: no plan bytes", pipeline)
+		}
+		if m.SentBytes(metrics.ClassGrads) == 0 {
+			t.Fatalf("pipeline=%v: no gradient bytes", pipeline)
+		}
+		data := m.SentBytes(metrics.ClassPartials) + m.SentBytes(metrics.ClassFeatures)
+		if data == 0 {
+			t.Fatalf("pipeline=%v: no feature/partial bytes", pipeline)
+		}
+		// Sent and received must agree globally (every message is consumed).
+		var sent, recv int64
+		for c := metrics.MsgClass(0); c < metrics.NumMsgClasses; c++ {
+			sent += m.SentBytes(c)
+			recv += m.RecvBytes(c)
+		}
+		if sent != recv || sent != m.BytesSent.Load() {
+			t.Fatalf("pipeline=%v: sent %d, recv %d, total %d", pipeline, sent, recv, m.BytesSent.Load())
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/collective"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/hdg"
@@ -21,11 +22,15 @@ import (
 // holds are local-width ([#local roots, dim]); remote contributions arrive
 // as messages, so memory and backward traffic scale with the partition
 // size, as on the paper's shared-nothing machines.
+//
+// All wire traffic goes through comm, the typed collective plane: plan
+// exchange, feature synchronisation and gradient sync are expressed as
+// fenced collective calls rather than hand-rolled send/recv matching.
 type worker struct {
 	rank int
 	k    int
 	cfg  Config
-	tr   rpc.Transport
+	comm *collective.Comm
 
 	g         *graph.Graph
 	owner     []int32
@@ -51,9 +56,6 @@ type worker struct {
 
 	// plans caches the exchanged communication plan per adjacency.
 	plans map[*engine.Adjacency]*workerPlan
-
-	// pending buffers out-of-phase messages during demultiplexing.
-	pending []*rpc.Message
 }
 
 // workerPlan is this worker's view of the communication plan for one
@@ -224,33 +226,24 @@ func (w *worker) ensurePlan(adj *engine.Adjacency) (*workerPlan, error) {
 	// Tell each peer which partial sums it must compute for me (leaf IDs
 	// are global; the peer remaps them into its own local ranks), along
 	// with my receive preference (Dim=1 for partials, 0 for raw rows).
+	// The exchange is a dedicated KindPlan collective, fenced on
+	// (epoch, aggregation call).
 	prefDim := int32(0)
 	if plan.usePartials {
 		prefDim = 1
 	}
-	for q := 0; q < w.k; q++ {
-		if q == w.rank {
-			continue
-		}
-		msg := &rpc.Message{
-			Kind:  rpc.KindBarrier, // plan exchange piggybacks on barrier kind + layer tag
-			From:  int32(w.rank),
-			Epoch: w.epoch,
-			Layer: w.aggCalls,
-			IDs:   encodeTasks(peerTasks[q]),
-			Dim:   prefDim,
-		}
-		w.countMsg(msg)
-		if err := w.tr.Send(q, msg); err != nil {
-			return nil, err
-		}
-	}
-	// Receive the tasks each peer wants from me; remap leaves to my local
-	// ranks and derive the raw-mode vertex lists.
-	msgs, err := w.recvMatch(rpc.KindBarrier, w.epoch, w.aggCalls, w.k-1)
+	msgs, err := w.comm.Exchange(
+		collective.Fence{Epoch: w.epoch, Phase: w.aggCalls},
+		rpc.KindPlan,
+		func(q int) *rpc.Message {
+			return &rpc.Message{Kind: rpc.KindPlan, IDs: encodeTasks(peerTasks[q]), Dim: prefDim}
+		},
+		nil)
 	if err != nil {
 		return nil, err
 	}
+	// msgs hold the tasks each peer wants from me; remap leaves to my
+	// local ranks and derive the raw-mode vertex lists.
 	for _, m := range msgs {
 		tasks, err := decodeTasks(m.IDs)
 		if err != nil {
@@ -282,38 +275,6 @@ func (w *worker) ensurePlan(adj *engine.Adjacency) (*workerPlan, error) {
 	return plan, nil
 }
 
-// recvMatch collects exactly n messages with the given kind/epoch/layer,
-// buffering any out-of-phase messages for later phases.
-func (w *worker) recvMatch(kind rpc.MsgKind, epoch, layer int32, n int) ([]*rpc.Message, error) {
-	var out []*rpc.Message
-	rest := w.pending[:0]
-	for _, m := range w.pending {
-		if len(out) < n && m.Kind == kind && m.Epoch == epoch && m.Layer == layer {
-			out = append(out, m)
-		} else {
-			rest = append(rest, m)
-		}
-	}
-	w.pending = rest
-	for len(out) < n {
-		m, err := w.tr.Recv()
-		if err != nil {
-			return nil, err
-		}
-		if m.Kind == kind && m.Epoch == epoch && m.Layer == layer {
-			out = append(out, m)
-		} else {
-			w.pending = append(w.pending, m)
-		}
-	}
-	return out, nil
-}
-
-func (w *worker) countMsg(m *rpc.Message) {
-	w.breakdown.MessagesSent.Add(1)
-	w.breakdown.BytesSent.Add(m.NumBytes())
-}
-
 // AggregateBottom implements nau.BottomAggregator: the distributed bottom
 // aggregation with either partial aggregation + pipeline overlap (§5) or
 // the unoptimised raw-feature synchronisation. feats holds the previous
@@ -342,61 +303,37 @@ func (w *worker) AggregateBottom(adj *engine.Adjacency, feats *nn.Value, op tens
 }
 
 // aggregatePipelined overlaps communication with local partial aggregation
-// (§5). It ships per-destination partial sums when that is cheaper than raw
-// rows, and deduplicated raw rows otherwise ("when possible") — either way
-// the local aggregation proceeds while messages are in flight.
+// (§5), expressed as one fenced Exchange: each peer is built the payload
+// kind it announced at plan exchange, and the local fused aggregation runs
+// in the collective's overlap window while messages are in flight.
 func (w *worker) aggregatePipelined(plan *workerPlan, feats *nn.Value, layer int32) *nn.Value {
 	dim := feats.Data.Cols()
-	kind := rpc.KindPartials
+	recvKind := rpc.KindPartials
 	if !plan.usePartials {
-		kind = rpc.KindFeatures
+		recvKind = rpc.KindFeatures
 	}
-	// Kick off sends in the background; each peer receives the payload
-	// kind it announced at plan exchange.
-	sendErr := make(chan error, 1)
-	go func() {
-		var firstErr error
-		for q := 0; q < w.k; q++ {
-			if q == w.rank {
-				continue
-			}
-			var msg *rpc.Message
+	var (
+		localSum *nn.Value
+		aggDur   time.Duration
+	)
+	syncStart := time.Now()
+	msgs, err := w.comm.Exchange(
+		collective.Fence{Epoch: w.epoch, Phase: layer},
+		recvKind,
+		func(q int) *rpc.Message {
 			if plan.sendPartialsTo[q] {
 				dsts, counts, data := PartialAggregate(plan.tasksForPeer[q], feats.Data)
-				msg = &rpc.Message{
-					Kind:   rpc.KindPartials,
-					From:   int32(w.rank),
-					Epoch:  w.epoch,
-					Layer:  layer,
-					IDs:    dsts,
-					Counts: counts,
-					Data:   data,
-					Dim:    int32(dim),
-				}
-			} else {
-				msg = w.rawMessage(plan, feats, q, layer, true)
+				return &rpc.Message{Kind: rpc.KindPartials, IDs: dsts, Counts: counts, Data: data, Dim: int32(dim)}
 			}
-			w.countMsg(msg)
-			if err := w.tr.Send(q, msg); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		sendErr <- firstErr
-	}()
-
-	// Overlap: local partial aggregation while messages are in flight.
-	start := time.Now()
-	localSum := engine.FusedAggregate(plan.local, feats, tensor.ReduceSum)
-	w.breakdown.Add(metrics.StageAggregation, time.Since(start))
-
-	// Receive from every peer and fold the results in.
-	syncStart := time.Now()
-	msgs, err := w.recvMatch(kind, w.epoch, layer, w.k-1)
+			return w.rawMessage(plan, feats, q, true)
+		},
+		func() {
+			start := time.Now()
+			localSum = engine.FusedAggregate(plan.local, feats, tensor.ReduceSum)
+			aggDur = time.Since(start)
+		})
 	if err != nil {
 		panic(fmt.Errorf("cluster: partial sync failed: %w", err))
-	}
-	if err := <-sendErr; err != nil {
-		panic(fmt.Errorf("cluster: partial send failed: %w", err))
 	}
 	var remote *tensor.Tensor
 	if plan.usePartials {
@@ -410,14 +347,16 @@ func (w *worker) aggregatePipelined(plan *workerPlan, feats *nn.Value, layer int
 	} else {
 		remote = w.remoteSumFromRaw(plan, msgs, dim)
 	}
-	w.breakdown.Add(metrics.StageSync, time.Since(syncStart))
+	w.breakdown.Add(metrics.StageAggregation, aggDur)
+	w.breakdown.Add(metrics.StageSync, time.Since(syncStart)-aggDur)
 	return nn.Add(localSum, nn.Constant(remote))
 }
 
-// rawMessage assembles the batched raw-feature message for peer q. dedup
-// selects the reference list (naive baseline) or the deduplicated set (the
-// pipelined fallback).
-func (w *worker) rawMessage(plan *workerPlan, feats *nn.Value, q int, layer int32, dedup bool) *rpc.Message {
+// rawMessage assembles the batched raw-feature message for peer q (the
+// sender and fence are stamped by the collective layer). dedup selects the
+// reference list (naive baseline) or the deduplicated set (the pipelined
+// fallback).
+func (w *worker) rawMessage(plan *workerPlan, feats *nn.Value, q int, dedup bool) *rpc.Message {
 	dim := feats.Data.Cols()
 	verts := plan.rawForPeer[q]
 	if dedup {
@@ -431,15 +370,7 @@ func (w *worker) rawMessage(plan *workerPlan, feats *nn.Value, q int, layer int3
 		r := int(w.localRank[v])
 		copy(data[i*dim:(i+1)*dim], fd[r*dim:(r+1)*dim])
 	}
-	return &rpc.Message{
-		Kind:  rpc.KindFeatures,
-		From:  int32(w.rank),
-		Epoch: w.epoch,
-		Layer: layer,
-		IDs:   ids,
-		Data:  data,
-		Dim:   int32(dim),
-	}
+	return &rpc.Message{Kind: rpc.KindFeatures, IDs: ids, Data: data, Dim: int32(dim)}
 }
 
 // remoteSumFromRaw fills the compact remote buffer from raw-feature
@@ -465,21 +396,15 @@ func (w *worker) remoteSumFromRaw(plan *workerPlan, msgs []*rpc.Message, dim int
 
 // aggregateRaw ships raw feature rows (one batched message per peer), waits
 // for all of them, and then aggregates everything locally — FlexGraph
-// without pipeline processing.
+// without pipeline processing (no overlap window on the Exchange).
 func (w *worker) aggregateRaw(plan *workerPlan, feats *nn.Value, layer int32) *nn.Value {
 	dim := feats.Data.Cols()
 	syncStart := time.Now()
-	for q := 0; q < w.k; q++ {
-		if q == w.rank {
-			continue
-		}
-		msg := w.rawMessage(plan, feats, q, layer, false)
-		w.countMsg(msg)
-		if err := w.tr.Send(q, msg); err != nil {
-			panic(fmt.Errorf("cluster: raw send failed: %w", err))
-		}
-	}
-	msgs, err := w.recvMatch(rpc.KindFeatures, w.epoch, layer, w.k-1)
+	msgs, err := w.comm.Exchange(
+		collective.Fence{Epoch: w.epoch, Phase: layer},
+		rpc.KindFeatures,
+		func(q int) *rpc.Message { return w.rawMessage(plan, feats, q, false) },
+		nil)
 	if err != nil {
 		panic(fmt.Errorf("cluster: raw sync failed: %w", err))
 	}

@@ -1,0 +1,179 @@
+// Package collective is FlexGraph-Go's typed collective-communication
+// plane: epoch/layer-fenced collectives over an rpc.Transport. It factors
+// the patterns the distributed runtime (§5) is built from out of the worker
+// loop into a first-class, testable subsystem:
+//
+//   - Exchange — the per-peer scatter/gather behind partial-aggregation
+//     tasks, raw-feature synchronisation and plan exchange, with optional
+//     compute overlap while messages are in flight (pipeline processing);
+//   - AllReduce — a chunked ring all-reduce for gradient synchronisation
+//     that ships at most 2·|payload| bytes per worker regardless of the
+//     cluster size k (the broadcast it replaces ships (k−1)·|payload|);
+//   - Barrier — a plain phase fence.
+//
+// Every collective is tagged with a Fence (epoch, phase). A fenced mailbox
+// demultiplexes the transport stream: messages ahead of the current receive
+// are buffered (bounded), messages behind the fence epoch are a typed
+// *FenceError. All traffic is counted per message kind into a
+// metrics.Breakdown, so Fig. 15-style accounting can split plan, feature,
+// partial and gradient bytes.
+package collective
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+)
+
+// Fence identifies one synchronisation phase: the training epoch plus a
+// phase-local tag (the aggregation-call index for feature sync and plan
+// exchange; ring steps derive their own tags). Two collectives of the same
+// message kind must never share a fence within an epoch.
+type Fence struct {
+	Epoch int32
+	Phase int32
+}
+
+// Comm provides fenced collectives for one worker of a cluster. It is not
+// safe for concurrent collective calls — like an MPI communicator, one
+// collective at a time, in the same order on every worker.
+type Comm struct {
+	tr        rpc.Transport
+	bd        *metrics.Breakdown
+	mb        *mailbox
+	ringChunk int
+}
+
+// DefaultRingChunk is the ring all-reduce segment size in float32 words
+// (64 KiB frames): small enough to pipeline the reduce and distribute
+// phases, large enough to amortise frame headers.
+const DefaultRingChunk = 16384
+
+// defaultPendingLimit bounds the out-of-phase mailbox buffer. A healthy
+// synchronous cluster keeps at most a few messages in flight per peer; the
+// bound exists to turn a diverged cluster into an error instead of
+// unbounded memory growth.
+const defaultPendingLimit = 1 << 16
+
+// Option configures a Comm.
+type Option func(*Comm)
+
+// WithRingChunk sets the all-reduce segment size in float32 words.
+func WithRingChunk(words int) Option {
+	return func(c *Comm) {
+		if words > 0 {
+			c.ringChunk = words
+		}
+	}
+}
+
+// WithPendingLimit bounds the mailbox's out-of-phase buffer.
+func WithPendingLimit(n int) Option {
+	return func(c *Comm) {
+		if n > 0 {
+			c.mb.limit = n
+		}
+	}
+}
+
+// New wraps a transport into a collective communicator. All sent and
+// received bytes are accounted per message kind into bd.
+func New(tr rpc.Transport, bd *metrics.Breakdown, opts ...Option) *Comm {
+	c := &Comm{
+		tr:        tr,
+		bd:        bd,
+		mb:        &mailbox{tr: tr, bd: bd, limit: defaultPendingLimit},
+		ringChunk: DefaultRingChunk,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Rank returns this worker's index.
+func (c *Comm) Rank() int { return c.tr.Rank() }
+
+// Size returns the cluster size k.
+func (c *Comm) Size() int { return c.tr.Size() }
+
+// classOf maps a wire kind to its traffic-accounting class.
+func classOf(k rpc.MsgKind) metrics.MsgClass {
+	switch k {
+	case rpc.KindFeatures:
+		return metrics.ClassFeatures
+	case rpc.KindPartials:
+		return metrics.ClassPartials
+	case rpc.KindGrads:
+		return metrics.ClassGrads
+	case rpc.KindBarrier:
+		return metrics.ClassBarrier
+	case rpc.KindPlan:
+		return metrics.ClassPlan
+	default:
+		return -1
+	}
+}
+
+// send stamps the fence onto m and ships it, counting traffic.
+func (c *Comm) send(to int, f Fence, m *rpc.Message) error {
+	m.From = int32(c.tr.Rank())
+	m.Epoch = f.Epoch
+	m.Layer = f.Phase
+	c.bd.CountSent(classOf(m.Kind), m.NumBytes())
+	return c.tr.Send(to, m)
+}
+
+// Exchange is the per-peer scatter/gather: build(q) produces the message
+// for peer q (the Comm stamps sender and fence), sends run in the
+// background, and one message of recvKind at fence f is collected from
+// every peer. If overlap is non-nil it runs on the calling goroutine while
+// messages are in flight — the §5 pipeline-processing hook. Peers may send
+// different kinds than they receive (partials vs raw features are
+// negotiated per direction at plan exchange); recvKind names what THIS
+// worker expects.
+func (c *Comm) Exchange(f Fence, recvKind rpc.MsgKind, build func(peer int) *rpc.Message, overlap func()) ([]*rpc.Message, error) {
+	k, rank := c.tr.Size(), c.tr.Rank()
+	if k == 1 {
+		if overlap != nil {
+			overlap()
+		}
+		return nil, nil
+	}
+	sendErr := make(chan error, 1)
+	go func() {
+		var errs []error
+		for q := 0; q < k; q++ {
+			if q == rank {
+				continue
+			}
+			if err := c.send(q, f, build(q)); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		sendErr <- errors.Join(errs...)
+	}()
+	if overlap != nil {
+		overlap()
+	}
+	msgs, recvErr := c.mb.recvN(recvKind, f, k-1)
+	if err := <-sendErr; err != nil {
+		return nil, err
+	}
+	// Return in sender-rank order, not arrival order: callers fold the
+	// messages into float accumulations, and a deterministic order keeps
+	// every worker's results bit-reproducible across runs and cluster
+	// timings.
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+	return msgs, recvErr
+}
+
+// Barrier blocks until every worker has entered the same fence.
+func (c *Comm) Barrier(f Fence) error {
+	_, err := c.Exchange(f, rpc.KindBarrier, func(int) *rpc.Message {
+		return &rpc.Message{Kind: rpc.KindBarrier}
+	}, nil)
+	return err
+}

@@ -1,0 +1,332 @@
+package collective
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+)
+
+// payloadFor builds a deterministic per-rank payload with values spread
+// over several magnitudes so summation-order bugs show up bitwise.
+func payloadFor(rank, n int) []float32 {
+	out := make([]float32, n)
+	state := uint64(rank)*0x9e3779b97f4a7c15 + 1
+	for i := range out {
+		state = state*6364136223846793005 + 1442695040888963407
+		out[i] = float32(int64(state>>40)-(int64(1)<<23)) / float32(int64(1)<<(state%20))
+	}
+	return out
+}
+
+// referenceSum is the canonical rank-ordered sum (((x0+x1)+x2)+…) both
+// all-reduce algorithms must reproduce bit-for-bit.
+func referenceSum(payloads [][]float32) []float32 {
+	out := append([]float32(nil), payloads[0]...)
+	for r := 1; r < len(payloads); r++ {
+		for i, v := range payloads[r] {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// runAllReduce executes fn on k loopback-connected Comms concurrently and
+// returns each rank's resulting payload.
+func runAllReduce(t *testing.T, k, n int, opts []Option, fn func(c *Comm, data []float32) error) [][]float32 {
+	t.Helper()
+	netw := rpc.NewLoopbackNetwork(k)
+	defer netw.Close()
+	results := make([][]float32, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for rank := 0; rank < k; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := New(netw.Transport(rank), &metrics.Breakdown{}, opts...)
+			data := payloadFor(rank, n)
+			errs[rank] = fn(c, data)
+			results[rank] = data
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	return results
+}
+
+func TestRingAllReduceMatchesReference(t *testing.T) {
+	const n = 1000
+	for _, k := range []int{2, 3, 5} {
+		// Chunk of 64 words forces multi-chunk pipelining (16 chunks).
+		got := runAllReduce(t, k, n, []Option{WithRingChunk(64)}, func(c *Comm, data []float32) error {
+			return c.AllReduce(Fence{Epoch: 3, Phase: 0}, data, rpc.KindGrads)
+		})
+		payloads := make([][]float32, k)
+		for r := range payloads {
+			payloads[r] = payloadFor(r, n)
+		}
+		want := referenceSum(payloads)
+		for r := 0; r < k; r++ {
+			for i := range want {
+				if got[r][i] != want[i] {
+					t.Fatalf("k=%d rank=%d word %d: got %x, want %x", k, r, i, got[r][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastAllReduceBitIdenticalToRing(t *testing.T) {
+	const n = 777 // odd length exercises the ragged final chunk
+	for _, k := range []int{2, 4} {
+		ring := runAllReduce(t, k, n, []Option{WithRingChunk(100)}, func(c *Comm, data []float32) error {
+			return c.AllReduce(Fence{Epoch: 1}, data, rpc.KindGrads)
+		})
+		bcast := runAllReduce(t, k, n, nil, func(c *Comm, data []float32) error {
+			return c.AllReduceBroadcast(Fence{Epoch: 1}, data, rpc.KindGrads)
+		})
+		for r := 0; r < k; r++ {
+			for i := 0; i < n; i++ {
+				if ring[r][i] != bcast[r][i] {
+					t.Fatalf("k=%d rank=%d word %d: ring %x != broadcast %x", k, r, i, ring[r][i], bcast[r][i])
+				}
+			}
+		}
+	}
+}
+
+func TestRingAllReduceOverTCP(t *testing.T) {
+	const k, n = 3, 500
+	// Bring up the mesh on ephemeral ports (lower ranks dial higher ones,
+	// so later transports resolve earlier addresses).
+	addrs := make([]string, k)
+	trans := make([]*rpc.TCPTransport, k)
+	for i := k - 1; i >= 0; i-- {
+		full := make([]string, k)
+		copy(full, addrs)
+		full[i] = "127.0.0.1:0"
+		for j := 0; j < i; j++ {
+			full[j] = "unused"
+		}
+		tt, err := rpc.NewTCPTransport(i, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = tt.Addr()
+		trans[i] = tt
+		defer tt.Close()
+	}
+	results := make([][]float32, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for rank := 0; rank < k; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			if errs[rank] = trans[rank].Connect(); errs[rank] != nil {
+				return
+			}
+			c := New(trans[rank], &metrics.Breakdown{}, WithRingChunk(64))
+			data := payloadFor(rank, n)
+			errs[rank] = c.AllReduce(Fence{Epoch: 0}, data, rpc.KindGrads)
+			results[rank] = data
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	payloads := make([][]float32, k)
+	for r := range payloads {
+		payloads[r] = payloadFor(r, n)
+	}
+	want := referenceSum(payloads)
+	for r := 0; r < k; r++ {
+		for i := range want {
+			if results[r][i] != want[i] {
+				t.Fatalf("rank %d word %d: got %x, want %x", r, i, results[r][i], want[i])
+			}
+		}
+	}
+}
+
+func TestRingAllReduceByteBound(t *testing.T) {
+	const n = 4096
+	for _, k := range []int{2, 4, 8} {
+		netw := rpc.NewLoopbackNetwork(k)
+		bds := make([]*metrics.Breakdown, k)
+		var wg sync.WaitGroup
+		for rank := 0; rank < k; rank++ {
+			bds[rank] = &metrics.Breakdown{}
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				c := New(netw.Transport(rank), bds[rank], WithRingChunk(256))
+				data := payloadFor(rank, n)
+				if err := c.AllReduce(Fence{Epoch: 0}, data, rpc.KindGrads); err != nil {
+					t.Errorf("rank %d: %v", rank, err)
+				}
+			}(rank)
+		}
+		wg.Wait()
+		netw.Close()
+		// ≤ 2·|payload| + per-frame headers, independent of k.
+		const chunks = (n + 255) / 256
+		bound := int64(2*4*n + 2*chunks*29)
+		for rank := 0; rank < k; rank++ {
+			if got := bds[rank].SentBytes(metrics.ClassGrads); got > bound {
+				t.Fatalf("k=%d rank=%d sent %d gradient bytes, bound %d", k, rank, got, bound)
+			}
+		}
+	}
+}
+
+func TestExchangeOutOfPhaseSenders(t *testing.T) {
+	// Worker 1 races ahead: it sends its phase-1 message before worker 0
+	// has consumed phase 0. The mailbox must buffer the future message and
+	// deliver both phases in fence order.
+	netw := rpc.NewLoopbackNetwork(2)
+	defer netw.Close()
+	c0 := New(netw.Transport(0), &metrics.Breakdown{})
+	t1 := netw.Transport(1)
+
+	for _, phase := range []int32{1, 0} { // deliberately reversed
+		if err := t1.Send(0, &rpc.Message{Kind: rpc.KindFeatures, From: 1, Epoch: 0, Layer: phase, IDs: []int32{phase}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		// Worker 1 participates in both exchanges (recv side).
+		for phase := int32(0); phase < 2; phase++ {
+			if _, err := t1.Recv(); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for phase := int32(0); phase < 2; phase++ {
+		msgs, err := c0.Exchange(Fence{Epoch: 0, Phase: phase}, rpc.KindFeatures, func(int) *rpc.Message {
+			return &rpc.Message{Kind: rpc.KindFeatures}
+		}, nil)
+		if err != nil {
+			t.Fatalf("phase %d: %v", phase, err)
+		}
+		if len(msgs) != 1 || msgs[0].IDs[0] != phase {
+			t.Fatalf("phase %d: got %+v", phase, msgs)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMailboxRejectsStaleEpoch(t *testing.T) {
+	netw := rpc.NewLoopbackNetwork(2)
+	defer netw.Close()
+	c0 := New(netw.Transport(0), &metrics.Breakdown{})
+	t1 := netw.Transport(1)
+
+	if err := t1.Send(0, &rpc.Message{Kind: rpc.KindFeatures, From: 1, Epoch: 2, Layer: 0}); err != nil {
+		t.Fatal(err)
+	}
+	go t1.Recv() // absorb worker 0's send so Exchange can't block there
+	_, err := c0.Exchange(Fence{Epoch: 5, Phase: 0}, rpc.KindFeatures, func(int) *rpc.Message {
+		return &rpc.Message{Kind: rpc.KindFeatures}
+	}, nil)
+	var fe *FenceError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *FenceError, got %v", err)
+	}
+	if fe.MsgEpoch != 2 || fe.WantEpoch != 5 || fe.From != 1 {
+		t.Fatalf("fence error fields: %+v", fe)
+	}
+}
+
+func TestMailboxOverflowIsTyped(t *testing.T) {
+	netw := rpc.NewLoopbackNetwork(2)
+	defer netw.Close()
+	c0 := New(netw.Transport(0), &metrics.Breakdown{}, WithPendingLimit(2))
+	t1 := netw.Transport(1)
+
+	// Three future-phase messages overflow a 2-slot buffer while worker 0
+	// is waiting on phase 0.
+	for i := int32(1); i <= 3; i++ {
+		if err := t1.Send(0, &rpc.Message{Kind: rpc.KindFeatures, From: 1, Epoch: 0, Layer: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	go t1.Recv()
+	_, err := c0.Exchange(Fence{Epoch: 0, Phase: 0}, rpc.KindFeatures, func(int) *rpc.Message {
+		return &rpc.Message{Kind: rpc.KindFeatures}
+	}, nil)
+	var oe *OverflowError
+	if !errors.As(err, &oe) {
+		t.Fatalf("want *OverflowError, got %v", err)
+	}
+	if oe.Limit != 2 {
+		t.Fatalf("overflow limit: %+v", oe)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const k = 3
+	netw := rpc.NewLoopbackNetwork(k)
+	defer netw.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for rank := 0; rank < k; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := New(netw.Transport(rank), &metrics.Breakdown{})
+			for epoch := int32(0); epoch < 3; epoch++ {
+				if err := c.Barrier(Fence{Epoch: epoch}); err != nil {
+					errs[rank] = fmt.Errorf("epoch %d: %w", epoch, err)
+					return
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+func TestSingleWorkerCollectivesAreNoOps(t *testing.T) {
+	netw := rpc.NewLoopbackNetwork(1)
+	defer netw.Close()
+	bd := &metrics.Breakdown{}
+	c := New(netw.Transport(0), bd)
+	data := []float32{1, 2, 3}
+	if err := c.AllReduce(Fence{}, data, rpc.KindGrads); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(Fence{}); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if _, err := c.Exchange(Fence{}, rpc.KindFeatures, func(int) *rpc.Message { return nil }, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("overlap must still run at k=1")
+	}
+	if data[0] != 1 || bd.MessagesSent.Load() != 0 {
+		t.Fatalf("k=1 must not touch data or the wire: %v, %d msgs", data, bd.MessagesSent.Load())
+	}
+}

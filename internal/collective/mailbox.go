@@ -1,0 +1,104 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+)
+
+// FenceError reports a message that can never be consumed: its epoch
+// precedes the fence of the collective currently receiving. Under the
+// synchronous epoch protocol such a message indicates a peer protocol bug
+// (or frame corruption), so the mailbox surfaces it instead of buffering it
+// unboundedly the way the old worker demultiplexer did.
+type FenceError struct {
+	From      int32
+	Kind      rpc.MsgKind
+	MsgEpoch  int32
+	WantEpoch int32
+}
+
+func (e *FenceError) Error() string {
+	return fmt.Sprintf("collective: stale %s message from worker %d: epoch %d behind fence %d",
+		e.Kind, e.From, e.MsgEpoch, e.WantEpoch)
+}
+
+// OverflowError reports that the out-of-phase buffer hit its bound — the
+// cluster has diverged (e.g. a peer racing several epochs ahead), and
+// buffering further would only defer the failure.
+type OverflowError struct {
+	Limit int
+	Kind  rpc.MsgKind
+	From  int32
+}
+
+func (e *OverflowError) Error() string {
+	return fmt.Sprintf("collective: mailbox overflow (%d buffered) while holding %s message from worker %d",
+		e.Limit, e.Kind, e.From)
+}
+
+// mailbox demultiplexes a transport's in-order message stream into the
+// (kind, fence)-matched deliveries collectives need. Messages ahead of the
+// current receive (later layers of the same epoch, or the next epoch a fast
+// peer already entered) are buffered up to limit; messages behind the fence
+// epoch are rejected with a typed *FenceError. It is confined to the
+// worker's epoch goroutine — no locking.
+type mailbox struct {
+	tr      rpc.Transport
+	bd      *metrics.Breakdown
+	pending []*rpc.Message
+	limit   int
+}
+
+// take returns the first message satisfying match, preferring buffered
+// messages (in arrival order) and then the live transport stream.
+// fenceEpoch is the epoch of the collective performing the receive.
+func (mb *mailbox) take(fenceEpoch int32, match func(*rpc.Message) bool) (*rpc.Message, error) {
+	for i, m := range mb.pending {
+		if match(m) {
+			mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
+			return m, nil
+		}
+	}
+	for {
+		m, err := mb.tr.Recv()
+		if err != nil {
+			return nil, err
+		}
+		mb.bd.CountRecv(classOf(m.Kind), m.NumBytes())
+		if m.Epoch < fenceEpoch {
+			return nil, &FenceError{From: m.From, Kind: m.Kind, MsgEpoch: m.Epoch, WantEpoch: fenceEpoch}
+		}
+		if match(m) {
+			return m, nil
+		}
+		if len(mb.pending) >= mb.limit {
+			return nil, &OverflowError{Limit: mb.limit, Kind: m.Kind, From: m.From}
+		}
+		mb.pending = append(mb.pending, m)
+	}
+}
+
+// recvN collects exactly n messages matching (kind, fence).
+func (mb *mailbox) recvN(kind rpc.MsgKind, f Fence, n int) ([]*rpc.Message, error) {
+	out := make([]*rpc.Message, 0, n)
+	for len(out) < n {
+		m, err := mb.take(f.Epoch, func(m *rpc.Message) bool {
+			return m.Kind == kind && m.Epoch == f.Epoch && m.Layer == f.Phase
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// recvFrom collects the single (kind, fence) message sent by one peer —
+// the point-to-point receive of the ring steps.
+func (mb *mailbox) recvFrom(kind rpc.MsgKind, f Fence, from int) (*rpc.Message, error) {
+	return mb.take(f.Epoch, func(m *rpc.Message) bool {
+		return m.Kind == kind && m.Epoch == f.Epoch && m.Layer == f.Phase && int(m.From) == from
+	})
+}

@@ -45,6 +45,40 @@ func (s Stage) String() string {
 	}
 }
 
+// MsgClass identifies a message kind for per-kind traffic accounting. The
+// values mirror the rpc message kinds (without importing rpc, which sits
+// above metrics), so Fig. 15-style reports can split plan, feature, partial
+// and gradient bytes.
+type MsgClass int
+
+// Traffic classes, one per wire message kind.
+const (
+	ClassFeatures MsgClass = iota
+	ClassPartials
+	ClassGrads
+	ClassBarrier
+	ClassPlan
+	NumMsgClasses
+)
+
+// String returns the class name as printed in traffic tables.
+func (c MsgClass) String() string {
+	switch c {
+	case ClassFeatures:
+		return "features"
+	case ClassPartials:
+		return "partials"
+	case ClassGrads:
+		return "grads"
+	case ClassBarrier:
+		return "barrier"
+	case ClassPlan:
+		return "plan"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
 // Breakdown accumulates per-stage durations and communication counters. It
 // is safe for concurrent use.
 type Breakdown struct {
@@ -53,7 +87,37 @@ type Breakdown struct {
 
 	MessagesSent atomic.Int64
 	BytesSent    atomic.Int64
+	MessagesRecv atomic.Int64
+	BytesRecv    atomic.Int64
+
+	sentBy [NumMsgClasses]atomic.Int64
+	recvBy [NumMsgClasses]atomic.Int64
 }
+
+// CountSent records one outgoing message of class c with the given encoded
+// size, updating both the aggregate and the per-kind counters.
+func (b *Breakdown) CountSent(c MsgClass, bytes int64) {
+	b.MessagesSent.Add(1)
+	b.BytesSent.Add(bytes)
+	if c >= 0 && c < NumMsgClasses {
+		b.sentBy[c].Add(bytes)
+	}
+}
+
+// CountRecv records one incoming message of class c.
+func (b *Breakdown) CountRecv(c MsgClass, bytes int64) {
+	b.MessagesRecv.Add(1)
+	b.BytesRecv.Add(bytes)
+	if c >= 0 && c < NumMsgClasses {
+		b.recvBy[c].Add(bytes)
+	}
+}
+
+// SentBytes returns the bytes sent for one message class.
+func (b *Breakdown) SentBytes(c MsgClass) int64 { return b.sentBy[c].Load() }
+
+// RecvBytes returns the bytes received for one message class.
+func (b *Breakdown) RecvBytes(c MsgClass) int64 { return b.recvBy[c].Load() }
 
 // Add accumulates d into stage s.
 func (b *Breakdown) Add(s Stage, d time.Duration) {
@@ -107,6 +171,12 @@ func (b *Breakdown) Merge(other *Breakdown) {
 	b.mu.Unlock()
 	b.MessagesSent.Add(other.MessagesSent.Load())
 	b.BytesSent.Add(other.BytesSent.Load())
+	b.MessagesRecv.Add(other.MessagesRecv.Load())
+	b.BytesRecv.Add(other.BytesRecv.Load())
+	for c := range b.sentBy {
+		b.sentBy[c].Add(other.sentBy[c].Load())
+		b.recvBy[c].Add(other.recvBy[c].Load())
+	}
 }
 
 // Reset zeroes all counters.
@@ -118,6 +188,12 @@ func (b *Breakdown) Reset() {
 	b.mu.Unlock()
 	b.MessagesSent.Store(0)
 	b.BytesSent.Store(0)
+	b.MessagesRecv.Store(0)
+	b.BytesRecv.Store(0)
+	for c := range b.sentBy {
+		b.sentBy[c].Store(0)
+		b.recvBy[c].Store(0)
+	}
 }
 
 // Table4Row formats the NAU-stage breakdown like the paper's Table 4:
@@ -134,5 +210,24 @@ func (b *Breakdown) Table4Row(model string) string {
 		}
 		fmt.Fprintf(&sb, "  %s %8.3fs (%5.1f%%)", s, d.Seconds(), pct)
 	}
+	return sb.String()
+}
+
+// TrafficTable formats the per-kind byte counters like the paper's Fig. 15
+// traffic accounting: one line per message class with sent/received bytes,
+// plus the aggregate totals.
+func (b *Breakdown) TrafficTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %14s %14s\n", "kind", "sent (B)", "recv (B)")
+	for c := MsgClass(0); c < NumMsgClasses; c++ {
+		s, r := b.sentBy[c].Load(), b.recvBy[c].Load()
+		if s == 0 && r == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-10s %14d %14d\n", c, s, r)
+	}
+	fmt.Fprintf(&sb, "%-10s %14d %14d  (%d msgs out, %d in)",
+		"total", b.BytesSent.Load(), b.BytesRecv.Load(),
+		b.MessagesSent.Load(), b.MessagesRecv.Load())
 	return sb.String()
 }

@@ -1,0 +1,74 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// Bulk little-endian section conversion. On little-endian hosts (amd64,
+// arm64, ...) an []int32 or []float32 section already has the wire layout,
+// so encode/decode degenerate to a single memmove per section; other hosts
+// fall back to a per-word loop. The wire format is little-endian either way.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func int32Bytes(src []int32) []byte {
+	if len(src) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(src))), len(src)*4)
+}
+
+func float32Bytes(src []float32) []byte {
+	if len(src) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(src))), len(src)*4)
+}
+
+// putInt32s writes src little-endian into dst (len(dst) >= 4*len(src)).
+func putInt32s(dst []byte, src []int32) {
+	if hostLittleEndian {
+		copy(dst, int32Bytes(src))
+		return
+	}
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(dst[i*4:], uint32(v))
+	}
+}
+
+// getInt32s fills dst from the little-endian bytes in src.
+func getInt32s(dst []int32, src []byte) {
+	if hostLittleEndian {
+		copy(int32Bytes(dst), src[:len(dst)*4])
+		return
+	}
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(src[i*4:]))
+	}
+}
+
+// putFloat32s writes src little-endian into dst (len(dst) >= 4*len(src)).
+func putFloat32s(dst []byte, src []float32) {
+	if hostLittleEndian {
+		copy(dst, float32Bytes(src))
+		return
+	}
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(dst[i*4:], math.Float32bits(v))
+	}
+}
+
+// getFloat32s fills dst from the little-endian bytes in src.
+func getFloat32s(dst []float32, src []byte) {
+	if hostLittleEndian {
+		copy(float32Bytes(dst), src[:len(dst)*4])
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[i*4:]))
+	}
+}

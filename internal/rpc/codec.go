@@ -8,7 +8,6 @@ package rpc
 import (
 	"encoding/binary"
 	"fmt"
-	"math"
 )
 
 // MsgKind tags the payload type of a Message.
@@ -26,7 +25,34 @@ const (
 	KindGrads
 	// KindBarrier synchronises epoch/layer boundaries.
 	KindBarrier
+	// KindPlan carries the communication plan (per-peer partial-aggregation
+	// tasks and receive preferences) exchanged before the first epoch of an
+	// adjacency.
+	KindPlan
+
+	numKinds
 )
+
+// Valid reports whether k is a known message kind.
+func (k MsgKind) Valid() bool { return k >= KindFeatures && k < numKinds }
+
+// String returns the kind name used in traffic tables.
+func (k MsgKind) String() string {
+	switch k {
+	case KindFeatures:
+		return "features"
+	case KindPartials:
+		return "partials"
+	case KindGrads:
+		return "grads"
+	case KindBarrier:
+		return "barrier"
+	case KindPlan:
+		return "plan"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
 
 // Message is one unit of worker-to-worker communication.
 type Message struct {
@@ -44,42 +70,59 @@ type Message struct {
 	Dim int32
 }
 
+// headerBytes is the fixed wire-header size: kind byte plus seven uint32
+// fields (from, layer, epoch, dim, and the three section lengths).
+const headerBytes = 1 + 4*7
+
 // NumBytes returns the encoded size, used by traffic accounting.
 func (m *Message) NumBytes() int64 {
-	return int64(1+4+4+4+4+4+4+4) + int64(len(m.IDs))*4 + int64(len(m.Counts))*4 + int64(len(m.Data))*4
+	return headerBytes + int64(len(m.IDs))*4 + int64(len(m.Counts))*4 + int64(len(m.Data))*4
 }
 
 // Encode serialises m into a fresh buffer (little-endian, length-prefixed
-// sections).
+// sections). Transports prefer EncodeInto with a pooled frame; Encode is
+// the convenience form for tests and one-off callers.
 func (m *Message) Encode() []byte {
-	buf := make([]byte, 0, m.NumBytes())
-	buf = append(buf, byte(m.Kind))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.From))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Layer))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Epoch))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Dim))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.IDs)))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Counts)))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Data)))
-	for _, v := range m.IDs {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
-	}
-	for _, v := range m.Counts {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
-	}
-	for _, v := range m.Data {
-		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
-	}
+	buf := make([]byte, m.NumBytes())
+	m.EncodeInto(buf)
 	return buf
 }
 
-// Decode parses a buffer produced by Encode.
+// EncodeInto serialises m into buf, which must be exactly NumBytes() long.
+// Sections are written with bulk little-endian copies rather than per-word
+// appends.
+func (m *Message) EncodeInto(buf []byte) {
+	if int64(len(buf)) != m.NumBytes() {
+		panic(fmt.Sprintf("rpc: EncodeInto buffer %d bytes, want %d", len(buf), m.NumBytes()))
+	}
+	buf[0] = byte(m.Kind)
+	binary.LittleEndian.PutUint32(buf[1:], uint32(m.From))
+	binary.LittleEndian.PutUint32(buf[5:], uint32(m.Layer))
+	binary.LittleEndian.PutUint32(buf[9:], uint32(m.Epoch))
+	binary.LittleEndian.PutUint32(buf[13:], uint32(m.Dim))
+	binary.LittleEndian.PutUint32(buf[17:], uint32(len(m.IDs)))
+	binary.LittleEndian.PutUint32(buf[21:], uint32(len(m.Counts)))
+	binary.LittleEndian.PutUint32(buf[25:], uint32(len(m.Data)))
+	off := headerBytes
+	putInt32s(buf[off:], m.IDs)
+	off += 4 * len(m.IDs)
+	putInt32s(buf[off:], m.Counts)
+	off += 4 * len(m.Counts)
+	putFloat32s(buf[off:], m.Data)
+}
+
+// Decode parses a buffer produced by Encode. Unknown message kinds are
+// rejected — garbage or version-skewed frames must surface as errors, not
+// flow through demultiplexing. The returned message owns fresh section
+// slices, so buf may be pooled and reused by the caller.
 func Decode(buf []byte) (*Message, error) {
-	const header = 1 + 4*7
-	if len(buf) < header {
+	if len(buf) < headerBytes {
 		return nil, fmt.Errorf("rpc: message too short (%d bytes)", len(buf))
 	}
 	m := &Message{Kind: MsgKind(buf[0])}
+	if !m.Kind.Valid() {
+		return nil, fmt.Errorf("rpc: unknown message kind %d", buf[0])
+	}
 	u32 := func(off int) uint32 { return binary.LittleEndian.Uint32(buf[off:]) }
 	m.From = int32(u32(1))
 	m.Layer = int32(u32(5))
@@ -88,31 +131,27 @@ func Decode(buf []byte) (*Message, error) {
 	nIDs := int(u32(17))
 	nCounts := int(u32(21))
 	nData := int(u32(25))
-	want := header + 4*(nIDs+nCounts+nData)
-	if len(buf) != want {
+	if nIDs < 0 || nCounts < 0 || nData < 0 {
+		return nil, fmt.Errorf("rpc: negative section length")
+	}
+	want := int64(headerBytes) + 4*(int64(nIDs)+int64(nCounts)+int64(nData))
+	if int64(len(buf)) != want {
 		return nil, fmt.Errorf("rpc: message length %d, want %d", len(buf), want)
 	}
-	off := header
+	off := headerBytes
 	if nIDs > 0 {
 		m.IDs = make([]int32, nIDs)
-		for i := range m.IDs {
-			m.IDs[i] = int32(u32(off))
-			off += 4
-		}
+		getInt32s(m.IDs, buf[off:])
+		off += 4 * nIDs
 	}
 	if nCounts > 0 {
 		m.Counts = make([]int32, nCounts)
-		for i := range m.Counts {
-			m.Counts[i] = int32(u32(off))
-			off += 4
-		}
+		getInt32s(m.Counts, buf[off:])
+		off += 4 * nCounts
 	}
 	if nData > 0 {
 		m.Data = make([]float32, nData)
-		for i := range m.Data {
-			m.Data[i] = math.Float32frombits(u32(off))
-			off += 4
-		}
+		getFloat32s(m.Data, buf[off:])
 	}
 	return m, nil
 }

@@ -1,0 +1,62 @@
+package rpc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchMessage builds a message shaped like a real feature-sync frame:
+// ids vertex rows of width dim, the dominant payload of Fig. 15 traffic.
+func benchMessage(ids, dim int) *Message {
+	m := &Message{
+		Kind:   KindFeatures,
+		From:   3,
+		Layer:  1,
+		Epoch:  9,
+		IDs:    make([]int32, ids),
+		Counts: make([]int32, ids/4),
+		Dim:    int32(dim),
+		Data:   make([]float32, ids*dim),
+	}
+	for i := range m.IDs {
+		m.IDs[i] = int32(i * 7)
+	}
+	for i := range m.Counts {
+		m.Counts[i] = int32(i)
+	}
+	for i := range m.Data {
+		m.Data[i] = float32(i) * 0.25
+	}
+	return m
+}
+
+func BenchmarkCodecEncode(b *testing.B) {
+	for _, sz := range []struct{ ids, dim int }{{256, 16}, {4096, 64}} {
+		m := benchMessage(sz.ids, sz.dim)
+		b.Run(fmt.Sprintf("ids%d_dim%d", sz.ids, sz.dim), func(b *testing.B) {
+			b.SetBytes(m.NumBytes())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				frame := m.Encode()
+				_ = frame
+			}
+		})
+	}
+}
+
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	for _, sz := range []struct{ ids, dim int }{{256, 16}, {4096, 64}} {
+		m := benchMessage(sz.ids, sz.dim)
+		b.Run(fmt.Sprintf("ids%d_dim%d", sz.ids, sz.dim), func(b *testing.B) {
+			b.SetBytes(m.NumBytes())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got, err := Decode(m.Encode())
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = got
+			}
+		})
+	}
+}

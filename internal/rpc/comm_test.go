@@ -1,0 +1,166 @@
+package rpc
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlanMessageRoundTrip(t *testing.T) {
+	m := &Message{Kind: KindPlan, From: 2, Epoch: 0, IDs: []int32{3, 2, 10, 11, 1, 9}, Dim: 16}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindPlan || got.From != 2 || got.Dim != 16 || len(got.IDs) != 6 || got.IDs[2] != 10 {
+		t.Fatalf("plan round trip: %+v", got)
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	base := (&Message{Kind: KindFeatures, IDs: []int32{1}}).Encode()
+	for _, kind := range []byte{0, byte(numKinds), 37, 255} {
+		buf := append([]byte(nil), base...)
+		buf[0] = kind
+		if _, err := Decode(buf); err == nil || !strings.Contains(err.Error(), "unknown message kind") {
+			t.Fatalf("kind %d: want unknown-kind error, got %v", kind, err)
+		}
+	}
+}
+
+func TestMsgKindValid(t *testing.T) {
+	for _, k := range []MsgKind{KindFeatures, KindPartials, KindGrads, KindBarrier, KindPlan} {
+		if !k.Valid() {
+			t.Fatalf("kind %v must be valid", k)
+		}
+		if k.String() == "" || strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %v has no name", k)
+		}
+	}
+	if MsgKind(0).Valid() || numKinds.Valid() {
+		t.Fatal("out-of-range kinds must be invalid")
+	}
+}
+
+// reservePort grabs an ephemeral port and releases it so a test can bind it
+// later, simulating a peer whose listener comes up late.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestTCPConnectRetriesLateListener(t *testing.T) {
+	// The mesh startup race: worker 0 starts dialing before worker 1 has
+	// bound its listener. The bounded retry must ride it out.
+	lateAddr := reservePort(t)
+	addrs := []string{"127.0.0.1:0", lateAddr}
+	t0, err := NewTCPTransport(0, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	addrs[0] = t0.Addr()
+
+	done := make(chan error, 1)
+	go func() { done <- t0.Connect() }()
+
+	time.Sleep(80 * time.Millisecond) // several dial attempts fail here
+	t1, err := NewTCPTransport(1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	if err := t1.Connect(); err != nil {
+		t.Fatalf("late worker connect: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("early worker connect: %v", err)
+	}
+
+	if err := t0.Send(1, &Message{Kind: KindBarrier, From: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := t1.Recv(); err != nil || m.Kind != KindBarrier {
+		t.Fatalf("recv after raced connect: %v %v", m, err)
+	}
+}
+
+func TestTCPRecvDrainsDataBeforeEOF(t *testing.T) {
+	// A peer that sends its last frames and exits closes the connection
+	// right behind the data. The EOF must not outrace the frames, and end
+	// of stream is reported only after the inbox is drained.
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	t1, err := NewTCPTransport(1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs[1] = t1.Addr() // rank 0 dials rank 1, so it needs the real address
+	t0, err := NewTCPTransport(0, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- t0.Connect() }()
+	if err := t1.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 50
+	for i := int32(0); i < n; i++ {
+		if err := t1.Send(0, &Message{Kind: KindGrads, From: 1, Epoch: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t1.Close() // exit immediately behind the data
+
+	for i := int32(0); i < n; i++ {
+		m, err := t0.Recv()
+		if err != nil {
+			t.Fatalf("message %d lost to peer shutdown: %v", i, err)
+		}
+		if m.Epoch != i {
+			t.Fatalf("message %d out of order: epoch %d", i, m.Epoch)
+		}
+	}
+	if _, err := t0.Recv(); err == nil {
+		t.Fatal("drained transport with all peers gone must report end of stream")
+	}
+}
+
+func TestTCPConnectSurfacesAllDialErrors(t *testing.T) {
+	// Two unreachable peers: the connect error must name both, not just the
+	// first failure.
+	dead1, dead2 := reservePort(t), reservePort(t)
+	t0, err := NewTCPTransport(0, []string{"127.0.0.1:0", dead1, dead2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	t0.DialAttempts = 2
+	t0.DialBackoff = time.Millisecond
+
+	err = t0.Connect()
+	if err == nil {
+		t.Fatal("connect to dead peers must error")
+	}
+	for _, addr := range []string{dead1, dead2} {
+		if !strings.Contains(err.Error(), addr) {
+			t.Fatalf("connect error must mention %s: %v", addr, err)
+		}
+	}
+	if !strings.Contains(err.Error(), "2 attempts") {
+		t.Fatalf("connect error must report the attempt count: %v", err)
+	}
+}

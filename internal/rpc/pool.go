@@ -1,0 +1,73 @@
+package rpc
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Size-classed frame buffer pool. Encoded messages and received TCP frames
+// are short-lived ([]byte born, written, flushed to a socket or decoded,
+// dead), so both transports rent them here instead of allocating per
+// message. Classes are powers of two; buffers outside the classed range are
+// plain allocations that PutFrame drops.
+const (
+	minFrameClass = 6  // 64 B — smaller frames round up
+	maxFrameClass = 26 // 64 MiB — larger frames bypass the pool
+)
+
+var framePools [maxFrameClass + 1]sync.Pool
+
+// frameClass returns the pool class for a buffer of n bytes, or -1 if n is
+// outside the pooled range.
+func frameClass(n int) int {
+	if n <= 0 {
+		return minFrameClass
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if c < minFrameClass {
+		return minFrameClass
+	}
+	if c > maxFrameClass {
+		return -1
+	}
+	return c
+}
+
+// GetFrame rents a buffer of length n from the size-classed pool.
+func GetFrame(n int) []byte {
+	c := frameClass(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if v := framePools[c].Get(); v != nil {
+		fb := v.(*frameBuf)
+		b := fb.b
+		fb.b = nil
+		frameBufPool.Put(fb)
+		return b[:n]
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// frameBuf wraps the slice so Put receives a pointer-shaped value
+// (avoiding an allocation per Put).
+type frameBuf struct{ b []byte }
+
+var frameBufPool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+// PutFrame returns a buffer obtained from GetFrame to its pool. Buffers
+// whose capacity is not an exact pooled class (e.g. oversized one-off
+// allocations) are dropped.
+func PutFrame(b []byte) {
+	c := cap(b)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1
+	if cls < minFrameClass || cls > maxFrameClass {
+		return
+	}
+	fb := frameBufPool.Get().(*frameBuf)
+	fb.b = b[:cap(b)]
+	framePools[cls].Put(fb)
+}

@@ -3,10 +3,12 @@ package rpc
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Transport moves encoded messages between the workers of one cluster.
@@ -71,7 +73,10 @@ func (l *loopback) Send(to int, msg *Message) error {
 	}
 	// Encode/decode round trip so loopback exercises the same codec as
 	// TCP and byte accounting is identical.
-	dup, err := Decode(msg.Encode())
+	frame := GetFrame(int(msg.NumBytes()))
+	msg.EncodeInto(frame)
+	dup, err := Decode(frame)
+	PutFrame(frame)
 	if err != nil {
 		return err
 	}
@@ -110,6 +115,14 @@ type TCPTransport struct {
 	rank  int
 	addrs []string
 
+	// DialAttempts bounds how often Connect retries a failed dial before
+	// giving up on a peer. Peers of a mesh start concurrently, so the first
+	// dials routinely race a peer that has not bound its listener yet.
+	DialAttempts int
+	// DialBackoff is the initial retry delay; it doubles per attempt and is
+	// capped at dialBackoffCap.
+	DialBackoff time.Duration
+
 	ln    net.Listener
 	conns []net.Conn
 	wmu   []sync.Mutex
@@ -117,7 +130,19 @@ type TCPTransport struct {
 	errs  chan error
 	done  chan struct{}
 	once  sync.Once
+
+	// eofs counts peer connections that closed cleanly between frames;
+	// allEOF is closed when every peer has. A clean EOF means the peer
+	// exited after sending everything (workers finish collectives at
+	// different times), so it must not abort receivers still waiting on
+	// other peers — only when no connection can produce data does Recv
+	// report end of stream.
+	eofs   int
+	eofMu  sync.Mutex
+	allEOF chan struct{}
 }
+
+const dialBackoffCap = 500 * time.Millisecond
 
 // NewTCPTransport starts worker rank of a mesh over addrs. It listens
 // immediately; Connect must be called on all workers (concurrently) to
@@ -128,16 +153,49 @@ func NewTCPTransport(rank int, addrs []string) (*TCPTransport, error) {
 		return nil, fmt.Errorf("rpc: listen %s: %w", addrs[rank], err)
 	}
 	t := &TCPTransport{
-		rank:  rank,
-		addrs: addrs,
-		ln:    ln,
-		conns: make([]net.Conn, len(addrs)),
-		wmu:   make([]sync.Mutex, len(addrs)),
-		inbox: make(chan *Message, 1024),
-		errs:  make(chan error, len(addrs)),
-		done:  make(chan struct{}),
+		rank:         rank,
+		addrs:        addrs,
+		DialAttempts: 40,
+		DialBackoff:  25 * time.Millisecond,
+		ln:           ln,
+		conns:        make([]net.Conn, len(addrs)),
+		wmu:          make([]sync.Mutex, len(addrs)),
+		inbox:        make(chan *Message, 1024),
+		errs:         make(chan error, len(addrs)),
+		done:         make(chan struct{}),
+		allEOF:       make(chan struct{}),
 	}
 	return t, nil
+}
+
+// dialPeer dials addr with bounded exponential backoff, covering the mesh
+// startup race where a higher-rank peer has not bound its listener yet.
+func (t *TCPTransport) dialPeer(addr string) (net.Conn, error) {
+	attempts := t.DialAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	delay := t.DialBackoff
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if a == attempts-1 {
+			break
+		}
+		select {
+		case <-t.done:
+			return nil, fmt.Errorf("rpc: dial %s: transport closed", addr)
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > dialBackoffCap {
+			delay = dialBackoffCap
+		}
+	}
+	return nil, fmt.Errorf("rpc: dial %s (%d attempts): %w", addr, attempts, lastErr)
 }
 
 // Addr returns the transport's actual listen address (useful with ":0").
@@ -170,14 +228,14 @@ func (t *TCPTransport) Connect() error {
 			go t.readLoop(conn)
 		}
 	}()
-	// Dial higher ranks.
+	// Dial higher ranks (with retry: their listeners may not be up yet).
 	for peer := t.rank + 1; peer < len(t.addrs); peer++ {
 		wg.Add(1)
 		go func(peer int) {
 			defer wg.Done()
-			conn, err := net.Dial("tcp", t.addrs[peer])
+			conn, err := t.dialPeer(t.addrs[peer])
 			if err != nil {
-				errc <- fmt.Errorf("rpc: dial %s: %w", t.addrs[peer], err)
+				errc <- err
 				return
 			}
 			var hello [4]byte
@@ -191,12 +249,33 @@ func (t *TCPTransport) Connect() error {
 		}(peer)
 	}
 	wg.Wait()
-	select {
-	case err := <-errc:
-		return err
-	default:
-		return nil
+	// Surface every connect failure, not just the first one buffered.
+	close(errc)
+	var errs []error
+	for err := range errc {
+		errs = append(errs, err)
 	}
+	return errors.Join(errs...)
+}
+
+// connClosed records one peer connection ending. A clean EOF between frames
+// counts toward allEOF; anything else (mid-frame truncation, resets, decode
+// failures) is a hard transport error surfaced to Recv immediately.
+func (t *TCPTransport) connClosed(err error) {
+	select {
+	case <-t.done:
+		return
+	default:
+	}
+	if errors.Is(err, io.EOF) {
+		t.eofMu.Lock()
+		if t.eofs++; t.eofs == len(t.addrs)-1 {
+			close(t.allEOF)
+		}
+		t.eofMu.Unlock()
+		return
+	}
+	t.errs <- err
 }
 
 func (t *TCPTransport) readLoop(conn net.Conn) {
@@ -204,20 +283,17 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 	for {
 		var lenBuf [4]byte
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-			select {
-			case <-t.done:
-			default:
-				t.errs <- err
-			}
+			t.connClosed(err)
 			return
 		}
 		n := binary.LittleEndian.Uint32(lenBuf[:])
-		frame := make([]byte, n)
+		frame := GetFrame(int(n))
 		if _, err := io.ReadFull(r, frame); err != nil {
 			t.errs <- err
 			return
 		}
 		msg, err := Decode(frame)
+		PutFrame(frame)
 		if err != nil {
 			t.errs <- err
 			return
@@ -250,25 +326,44 @@ func (t *TCPTransport) Send(to int, msg *Message) error {
 	if conn == nil {
 		return fmt.Errorf("rpc: no connection to worker %d", to)
 	}
-	frame := msg.Encode()
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+	// Length prefix and body share one pooled frame and one Write call.
+	n := int(msg.NumBytes())
+	frame := GetFrame(4 + n)
+	binary.LittleEndian.PutUint32(frame, uint32(n))
+	msg.EncodeInto(frame[4:])
 	t.wmu[to].Lock()
-	defer t.wmu[to].Unlock()
-	if _, err := conn.Write(lenBuf[:]); err != nil {
-		return err
-	}
 	_, err := conn.Write(frame)
+	t.wmu[to].Unlock()
+	PutFrame(frame)
 	return err
 }
 
-// Recv blocks for the next message or transport error.
+// Recv blocks for the next message or transport error. Delivered messages
+// win over shutdown signals: a peer that sends its final frames and exits
+// closes the connection behind them, and the data must not be outraced by
+// its EOF (each read loop enqueues every frame before reporting its
+// connection closed). End of stream is only reported once every peer has
+// closed cleanly and the inbox is drained.
 func (t *TCPTransport) Recv() (*Message, error) {
+	select {
+	case m := <-t.inbox:
+		return m, nil
+	default:
+	}
 	select {
 	case m := <-t.inbox:
 		return m, nil
 	case err := <-t.errs:
 		return nil, err
+	case <-t.allEOF:
+		// Every peer finished; drain anything that raced ahead of the
+		// last close before declaring the stream over.
+		select {
+		case m := <-t.inbox:
+			return m, nil
+		default:
+			return nil, io.EOF
+		}
 	case <-t.done:
 		return nil, io.EOF
 	}
