@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build test race vet fmt bench bench-comm
+.PHONY: ci build test race chaos vet fmt bench bench-comm
 
-ci: vet fmt race test
+ci: vet fmt race chaos test
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,17 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages the kernel hot path and the communication plane
-# touch.
-race:
+# touch (includes the fault-injection chaos tests, which live in the rpc,
+# collective and cluster packages).
+race: chaos
 	$(GO) test -race ./internal/tensor/... ./internal/engine/... \
+		./internal/rpc/... ./internal/collective/... ./internal/cluster/...
+
+# Fault-injection chaos tests, uncached and under the race detector: crash a
+# worker mid-epoch, expire receive deadlines, inject drops/dups/delays, and
+# prove every survivor fails fast with a typed error instead of hanging.
+chaos:
+	$(GO) test -race -count=1 -run 'FailFast|Fault|Abort|Timeout|Duplicate|RecvTimeout' \
 		./internal/rpc/... ./internal/collective/... ./internal/cluster/...
 
 vet:

@@ -40,6 +40,8 @@ func main() {
 	ringChunk := flag.Int("ringchunk", 0, "ring all-reduce segment size in float32 words (0 = default)")
 	dialRetries := flag.Int("dial-retries", 0, "mesh dial attempts per peer (0 = default)")
 	dialBackoff := flag.Duration("dial-backoff", 0, "initial mesh dial retry delay (0 = default)")
+	recvTimeout := flag.Duration("recv-timeout", 30*time.Second,
+		"collective receive deadline: a dead or wedged peer surfaces as a typed timeout naming the missing ranks instead of hanging the cluster (0 disables)")
 	flag.Parse()
 
 	var gs cluster.GradSync
@@ -96,13 +98,14 @@ func main() {
 	}
 
 	cfg := cluster.Config{
-		NumWorkers: len(addrs),
-		Pipeline:   *pipeline,
-		Strategy:   engine.StrategyHA,
-		Epochs:     *epochs,
-		Seed:       *seed,
-		GradSync:   gs,
-		RingChunk:  *ringChunk,
+		NumWorkers:  len(addrs),
+		Pipeline:    *pipeline,
+		Strategy:    engine.StrategyHA,
+		Epochs:      *epochs,
+		Seed:        *seed,
+		GradSync:    gs,
+		RingChunk:   *ringChunk,
+		RecvTimeout: *recvTimeout,
 	}
 	start := time.Now()
 	losses, breakdown, err := cluster.RunWorker(cfg, d, factory, tr)

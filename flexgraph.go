@@ -159,6 +159,26 @@ type (
 	MsgClass = metrics.MsgClass
 )
 
+// Fail-fast runtime errors. Distributed training with
+// ClusterConfig.RecvTimeout set never hangs on a dead peer: a missed
+// deadline is a *TimeoutError naming the fence and the missing ranks, a
+// peer's broadcast failure is an *AbortError, and protocol violations are
+// *FenceError / *OverflowError / *DuplicateError. Match with errors.As.
+type (
+	// TimeoutError reports a collective receive deadline that expired,
+	// naming the fence and the ranks never heard from.
+	TimeoutError = collective.TimeoutError
+	// AbortError reports that a peer's epoch failed and the cluster tore
+	// down (fail-fast abort propagation).
+	AbortError = collective.AbortError
+	// FenceError reports a message from an epoch behind the current fence.
+	FenceError = collective.FenceError
+	// OverflowError reports a diverged cluster overflowing the mailbox.
+	OverflowError = collective.OverflowError
+	// DuplicateError reports two messages from one sender at one fence.
+	DuplicateError = collective.DuplicateError
+)
+
 const (
 	// GradSyncRing (default) is the chunked ring all-reduce: at most
 	// 2·|payload| bytes per worker, independent of the cluster size.
@@ -177,6 +197,7 @@ const (
 	TrafficGrads    = metrics.ClassGrads
 	TrafficBarrier  = metrics.ClassBarrier
 	TrafficPlan     = metrics.ClassPlan
+	TrafficAbort    = metrics.ClassAbort
 )
 
 // NewRNG returns a deterministic random generator.

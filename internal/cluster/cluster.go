@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -53,6 +54,12 @@ type Config struct {
 	// RingChunk overrides the ring all-reduce segment size in float32
 	// words (0 selects collective.DefaultRingChunk).
 	RingChunk int
+	// RecvTimeout bounds how long any collective receive waits for peers
+	// (0 waits forever). With a bound, a dead or wedged peer surfaces as a
+	// typed *collective.TimeoutError naming the fence and the missing
+	// ranks, instead of hanging the epoch; the detecting worker then
+	// broadcasts an abort so every survivor fails fast.
+	RecvTimeout time.Duration
 }
 
 // ModelFactory builds a fresh model replica; it is called once per worker
@@ -110,13 +117,17 @@ func Train(cfg Config, d *dataset.Dataset, factory ModelFactory) (*Result, error
 			go func(rank int, w *worker) {
 				defer wg.Done()
 				losses[rank], errs[rank] = w.runEpoch()
+				if errs[rank] != nil {
+					// Fail fast: tell every peer this epoch is dead so
+					// survivors blocked in collectives return a typed
+					// *AbortError instead of deadlocking in wg.Wait.
+					w.abortPeers(errs[rank])
+				}
 			}(rank, w)
 		}
 		wg.Wait()
-		for rank, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("cluster: worker %d epoch %d: %w", rank, epoch, err)
-			}
+		if err := firstEpochError(errs); err.err != nil {
+			return nil, fmt.Errorf("cluster: worker %d epoch %d: %w", err.rank, epoch, err.err)
 		}
 		res.Losses = append(res.Losses, losses[0])
 		res.EpochTimes = append(res.EpochTimes, time.Since(start))
@@ -132,6 +143,11 @@ func Train(cfg Config, d *dataset.Dataset, factory ModelFactory) (*Result, error
 // same Config, dataset and factory; the transport's rank selects the
 // partition. It returns the per-epoch global losses and this worker's
 // stage breakdown.
+//
+// Failure is fail-fast: when an epoch errors (including a typed
+// *collective.TimeoutError from a dead peer under Config.RecvTimeout), the
+// worker broadcasts an abort to its peers and closes the transport, so every
+// survivor returns a typed *collective.AbortError instead of hanging.
 func RunWorker(cfg Config, d *dataset.Dataset, factory ModelFactory, tr rpc.Transport) ([]float32, *metrics.Breakdown, error) {
 	if cfg.Epochs <= 0 {
 		cfg.Epochs = 1
@@ -144,17 +160,60 @@ func RunWorker(cfg Config, d *dataset.Dataset, factory ModelFactory, tr rpc.Tran
 	// ready before the first plan exchange, and a broken link surfaces
 	// here as a barrier error rather than a mid-epoch hang.
 	if err := w.comm.Barrier(collective.Fence{Epoch: 0, Phase: 0}); err != nil {
+		w.abortPeers(err)
+		tr.Close()
 		return nil, nil, fmt.Errorf("cluster: worker %d startup barrier: %w", tr.Rank(), err)
 	}
 	losses := make([]float32, 0, cfg.Epochs)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		loss, err := w.runEpoch()
 		if err != nil {
+			// Tear the network down: broadcast the abort, then close the
+			// transport so peers blocked mid-frame see the link drop too.
+			w.abortPeers(err)
+			tr.Close()
 			return nil, nil, fmt.Errorf("cluster: worker %d epoch %d: %w", tr.Rank(), epoch, err)
 		}
 		losses = append(losses, loss)
 	}
 	return losses, w.breakdown, nil
+}
+
+// abortPeers broadcasts a fail-fast abort for the worker's current fence,
+// unless the failure itself was a peer's abort (re-broadcasting would only
+// echo it around the cluster).
+func (w *worker) abortPeers(cause error) {
+	var ae *collective.AbortError
+	if errors.As(cause, &ae) {
+		return
+	}
+	w.comm.Abort(collective.Fence{Epoch: w.epoch, Phase: w.aggCalls})
+}
+
+// rankedError pairs an epoch error with the rank that produced it.
+type rankedError struct {
+	rank int
+	err  error
+}
+
+// firstEpochError picks the error to report for a failed epoch: the first
+// non-abort error in rank order (the root cause), falling back to the first
+// abort if that is all there is.
+func firstEpochError(errs []error) rankedError {
+	first := rankedError{rank: -1}
+	for rank, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first.err == nil {
+			first = rankedError{rank: rank, err: err}
+		}
+		var ae *collective.AbortError
+		if !errors.As(err, &ae) {
+			return rankedError{rank: rank, err: err}
+		}
+	}
+	return first
 }
 
 // newWorker builds one worker over the given transport. Exposed via
@@ -178,10 +237,12 @@ func newWorker(rank int, cfg Config, d *dataset.Dataset, factory ModelFactory, t
 	params := model.Parameters()
 	breakdown := &metrics.Breakdown{}
 	w := &worker{
-		rank:      rank,
-		k:         cfg.NumWorkers,
-		cfg:       cfg,
-		comm:      collective.New(tr, breakdown, collective.WithRingChunk(cfg.RingChunk)),
+		rank: rank,
+		k:    cfg.NumWorkers,
+		cfg:  cfg,
+		comm: collective.New(tr, breakdown,
+			collective.WithRingChunk(cfg.RingChunk),
+			collective.WithRecvTimeout(cfg.RecvTimeout)),
 		g:         d.Graph,
 		owner:     p.Assign,
 		roots:     roots,
@@ -274,7 +335,14 @@ func selectSeeded(g *graph.Graph, schema *hdg.SchemaTree, udf nau.NeighborUDF, r
 func (w *worker) runEpoch() (loss float32, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("cluster: %v", r)
+			// Keep the error chain intact: typed failures (timeouts,
+			// aborts, fence errors) panicked out of aggregation hooks must
+			// stay matchable with errors.As after the recover.
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("cluster: %w", e)
+			} else {
+				err = fmt.Errorf("cluster: %v", r)
+			}
 		}
 	}()
 	w.aggCalls = 0

@@ -185,6 +185,11 @@ func decodeTasks(ids []int32) ([]Task, error) {
 		}
 		dst, n := ids[i], int(ids[i+1])
 		i += 2
+		// A corrupt frame can carry a negative leaf count, which would pass
+		// the overflow check below (i+n < i) and slice out of range.
+		if n < 0 {
+			return nil, fmt.Errorf("cluster: corrupt task encoding: negative leaf count %d", n)
+		}
 		if i+n > len(ids) {
 			return nil, fmt.Errorf("cluster: truncated task leaves")
 		}
@@ -345,7 +350,11 @@ func (w *worker) aggregatePipelined(plan *workerPlan, feats *nn.Value, layer int
 			}
 		}
 	} else {
-		remote = w.remoteSumFromRaw(plan, msgs, dim)
+		var rerr error
+		remote, rerr = w.remoteSumFromRaw(plan, msgs, dim)
+		if rerr != nil {
+			panic(rerr)
+		}
 	}
 	w.breakdown.Add(metrics.StageAggregation, aggDur)
 	w.breakdown.Add(metrics.StageSync, time.Since(syncStart)-aggDur)
@@ -374,15 +383,18 @@ func (w *worker) rawMessage(plan *workerPlan, feats *nn.Value, q int, dedup bool
 }
 
 // remoteSumFromRaw fills the compact remote buffer from raw-feature
-// messages and reduces it over the remote adjacency.
-func (w *worker) remoteSumFromRaw(plan *workerPlan, msgs []*rpc.Message, dim int) *tensor.Tensor {
+// messages and reduces it over the remote adjacency. A vertex outside the
+// plan's remote universe is a protocol violation (the peer shipped rows this
+// worker never asked for) and surfaces as an error — skipping it would turn
+// a wire bug into silently wrong sums.
+func (w *worker) remoteSumFromRaw(plan *workerPlan, msgs []*rpc.Message, dim int) (*tensor.Tensor, error) {
 	buffer := tensor.New(max(len(plan.remoteUniverse), 1), dim)
 	bd := buffer.Data()
 	for _, m := range msgs {
 		for i, v := range m.IDs {
 			pos, ok := plan.remoteIndex[v]
 			if !ok {
-				continue
+				return nil, fmt.Errorf("cluster: peer %d shipped vertex %d outside worker %d's remote universe", m.From, v, w.rank)
 			}
 			copy(bd[int(pos)*dim:int(pos+1)*dim], m.Data[i*dim:(i+1)*dim])
 		}
@@ -391,7 +403,7 @@ func (w *worker) remoteSumFromRaw(plan *workerPlan, msgs []*rpc.Message, dim int
 	if len(plan.remoteUniverse) == 0 {
 		remoteAdj = &engine.Adjacency{NumDst: plan.remote.NumDst, NumSrc: 1, DstPtr: plan.remote.DstPtr, SrcIdx: plan.remote.SrcIdx}
 	}
-	return engine.FusedAggregate(remoteAdj, nn.Constant(buffer), tensor.ReduceSum).Data
+	return engine.FusedAggregate(remoteAdj, nn.Constant(buffer), tensor.ReduceSum).Data, nil
 }
 
 // aggregateRaw ships raw feature rows (one batched message per peer), waits
@@ -412,7 +424,10 @@ func (w *worker) aggregateRaw(plan *workerPlan, feats *nn.Value, layer int32) *n
 
 	start := time.Now()
 	localSum := engine.FusedAggregate(plan.local, feats, tensor.ReduceSum)
-	remoteSum := w.remoteSumFromRaw(plan, msgs, dim)
+	remoteSum, rerr := w.remoteSumFromRaw(plan, msgs, dim)
+	if rerr != nil {
+		panic(rerr)
+	}
 	w.breakdown.Add(metrics.StageAggregation, time.Since(start))
 	return nn.Add(localSum, nn.Constant(remoteSum))
 }

@@ -62,7 +62,7 @@ func (c *Comm) AllReduce(f Fence, data []float32, kind rpc.MsgKind) error {
 	for ci := 0; ci < nchunks; ci++ {
 		seg := segment(ci)
 		if rank > 0 {
-			m, err := c.mb.recvFrom(kind, Fence{f.Epoch, reduceTag(f.Phase, ci)}, prev)
+			m, err := c.mb.recvFrom(kind, Fence{f.Epoch, reduceTag(f.Phase, ci)}, prev, c.recvTimeout)
 			if err != nil {
 				return err
 			}
@@ -87,7 +87,7 @@ func (c *Comm) AllReduce(f Fence, data []float32, kind rpc.MsgKind) error {
 	// predecessor and forward them until the lap closes at rank k−2.
 	for ci := 0; ci < nchunks; ci++ {
 		seg := segment(ci)
-		m, err := c.mb.recvFrom(kind, Fence{f.Epoch, distributeTag(f.Phase, ci)}, prev)
+		m, err := c.mb.recvFrom(kind, Fence{f.Epoch, distributeTag(f.Phase, ci)}, prev, c.recvTimeout)
 		if err != nil {
 			return err
 		}

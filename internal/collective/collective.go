@@ -22,6 +22,8 @@ package collective
 import (
 	"errors"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/rpc"
@@ -40,10 +42,11 @@ type Fence struct {
 // safe for concurrent collective calls — like an MPI communicator, one
 // collective at a time, in the same order on every worker.
 type Comm struct {
-	tr        rpc.Transport
-	bd        *metrics.Breakdown
-	mb        *mailbox
-	ringChunk int
+	tr          rpc.Transport
+	bd          *metrics.Breakdown
+	mb          *mailbox
+	ringChunk   int
+	recvTimeout time.Duration
 }
 
 // DefaultRingChunk is the ring all-reduce segment size in float32 words
@@ -74,6 +77,20 @@ func WithPendingLimit(n int) Option {
 	return func(c *Comm) {
 		if n > 0 {
 			c.mb.limit = n
+		}
+	}
+}
+
+// WithRecvTimeout bounds how long a collective receive waits for its peers
+// (0, the default, waits forever). On expiry the collective fails with a
+// typed *TimeoutError naming the fence and the missing ranks instead of
+// hanging on a dead or wedged peer. Exchange and Barrier apply the bound to
+// the whole fence; the ring all-reduce applies it per ring step, so the
+// clock resets on progress.
+func WithRecvTimeout(d time.Duration) Option {
+	return func(c *Comm) {
+		if d > 0 {
+			c.recvTimeout = d
 		}
 	}
 }
@@ -112,6 +129,8 @@ func classOf(k rpc.MsgKind) metrics.MsgClass {
 		return metrics.ClassBarrier
 	case rpc.KindPlan:
 		return metrics.ClassPlan
+	case rpc.KindAbort:
+		return metrics.ClassAbort
 	default:
 		return -1
 	}
@@ -142,7 +161,12 @@ func (c *Comm) Exchange(f Fence, recvKind rpc.MsgKind, build func(peer int) *rpc
 		}
 		return nil, nil
 	}
-	sendErr := make(chan error, 1)
+	// Sends run in the background; a failed send is stored where the
+	// receive loop's interrupt hook can see it, so a worker whose peers are
+	// gone fails fast instead of sitting in recvN waiting for messages that
+	// will never arrive.
+	var sendFailed atomic.Pointer[error]
+	sendDone := make(chan error, 1)
 	go func() {
 		var errs []error
 		for q := 0; q < k; q++ {
@@ -153,13 +177,28 @@ func (c *Comm) Exchange(f Fence, recvKind rpc.MsgKind, build func(peer int) *rpc
 				errs = append(errs, err)
 			}
 		}
-		sendErr <- errors.Join(errs...)
+		err := errors.Join(errs...)
+		if err != nil {
+			sendFailed.Store(&err)
+		}
+		sendDone <- err
 	}()
 	if overlap != nil {
 		overlap()
 	}
-	msgs, recvErr := c.mb.recvN(recvKind, f, k-1)
-	if err := <-sendErr; err != nil {
+	interrupt := func() error {
+		if perr := sendFailed.Load(); perr != nil {
+			return *perr
+		}
+		return nil
+	}
+	msgs, recvErr := c.mb.recvN(recvKind, f, k-1, c.recvTimeout, interrupt)
+	if recvErr != nil {
+		// Do not wait for the sender goroutine: with a dead peer it may be
+		// blocked in a write that only transport teardown can unblock.
+		return nil, recvErr
+	}
+	if err := <-sendDone; err != nil {
 		return nil, err
 	}
 	// Return in sender-rank order, not arrival order: callers fold the
@@ -176,4 +215,25 @@ func (c *Comm) Barrier(f Fence) error {
 		return &rpc.Message{Kind: rpc.KindBarrier}
 	}, nil)
 	return err
+}
+
+// Abort broadcasts a fail-fast control message to every peer: this worker's
+// epoch failed at fence f and the cluster must tear down. Sends are
+// best-effort — peers that are already gone are skipped — and the abort is
+// recorded locally so every later collective on this Comm fails immediately
+// with a typed *AbortError instead of waiting on a cluster that no longer
+// exists.
+func (c *Comm) Abort(f Fence) {
+	k, rank := c.tr.Size(), c.tr.Rank()
+	if c.mb.aborted == nil {
+		c.mb.aborted = &AbortError{From: int32(rank), Fence: f}
+	}
+	for q := 0; q < k; q++ {
+		if q == rank {
+			continue
+		}
+		// Best-effort: a dead peer's send failure must not stop the
+		// broadcast to the survivors.
+		_ = c.send(q, f, &rpc.Message{Kind: rpc.KindAbort})
+	}
 }

@@ -1,0 +1,202 @@
+package collective
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+)
+
+func TestExchangeTimeoutNamesMissingPeers(t *testing.T) {
+	// k=3: peer 1 delivers, peer 2 stays silent. Rank 0's exchange must
+	// expire into a typed timeout naming exactly the silent rank.
+	netw := rpc.NewLoopbackNetwork(3)
+	defer netw.Close()
+	bd := &metrics.Breakdown{}
+	c0 := New(netw.Transport(0), bd, WithRecvTimeout(100*time.Millisecond))
+	if err := netw.Transport(1).Send(0, &rpc.Message{Kind: rpc.KindFeatures, From: 1, Epoch: 0, Layer: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	_, err := c0.Exchange(Fence{Epoch: 0, Phase: 0}, rpc.KindFeatures, func(int) *rpc.Message {
+		return &rpc.Message{Kind: rpc.KindFeatures}
+	}, nil)
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("want *TimeoutError, got %v", err)
+	}
+	if len(te.Missing) != 1 || te.Missing[0] != 2 {
+		t.Fatalf("missing peers: got %v, want [2]", te.Missing)
+	}
+	if te.Kind != rpc.KindFeatures || te.Fence.Epoch != 0 {
+		t.Fatalf("timeout fields: %+v", te)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, deadline was 100ms", elapsed)
+	}
+	if bd.Timeouts.Load() == 0 {
+		t.Fatal("timeout not counted in the breakdown")
+	}
+}
+
+func TestAllReduceTimeout(t *testing.T) {
+	// Ring all-reduce with a silent peer: the first ring-step receive must
+	// expire into a typed timeout naming that peer.
+	netw := rpc.NewLoopbackNetwork(2)
+	defer netw.Close()
+	c0 := New(netw.Transport(0), &metrics.Breakdown{}, WithRecvTimeout(100*time.Millisecond))
+	data := payloadFor(0, 64)
+	err := c0.AllReduce(Fence{Epoch: 0}, data, rpc.KindGrads)
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("want *TimeoutError, got %v", err)
+	}
+	if len(te.Missing) != 1 || te.Missing[0] != 1 {
+		t.Fatalf("missing peers: got %v, want [1]", te.Missing)
+	}
+}
+
+func TestAbortUnblocksExchangeAndSticks(t *testing.T) {
+	// An abort lands while rank 0 is blocked (no deadline configured). The
+	// exchange must fail with a typed *AbortError naming the sender, and the
+	// abort must be sticky: every later collective fails the same way.
+	netw := rpc.NewLoopbackNetwork(2)
+	defer netw.Close()
+	bd := &metrics.Breakdown{}
+	c0 := New(netw.Transport(0), bd)
+	c1 := New(netw.Transport(1), &metrics.Breakdown{})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c0.Exchange(Fence{Epoch: 2, Phase: 1}, rpc.KindFeatures, func(int) *rpc.Message {
+			return &rpc.Message{Kind: rpc.KindFeatures}
+		}, nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let rank 0 block in the receive
+	c1.Abort(Fence{Epoch: 2, Phase: 1})
+
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("exchange still blocked 5s after the abort arrived")
+	}
+	var ae *AbortError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *AbortError, got %v", err)
+	}
+	if ae.From != 1 || ae.Fence.Epoch != 2 || ae.Fence.Phase != 1 {
+		t.Fatalf("abort fields: %+v", ae)
+	}
+	if bd.Aborts.Load() != 1 {
+		t.Fatalf("abort count: got %d, want 1", bd.Aborts.Load())
+	}
+	// Sticky: the next collective fails immediately without touching the wire.
+	if err := c0.Barrier(Fence{Epoch: 3}); !errors.As(err, &ae) {
+		t.Fatalf("post-abort barrier: want *AbortError, got %v", err)
+	}
+}
+
+// failingSendTransport wraps a transport so every Send fails while Recv still
+// blocks normally — the shape of a worker whose peers' sockets are gone but
+// whose own inbox is just silent.
+type failingSendTransport struct {
+	rpc.Transport
+	err error
+}
+
+func (f *failingSendTransport) Send(int, *rpc.Message) error { return f.err }
+
+func TestExchangeObservesSendFailureWhileBlocked(t *testing.T) {
+	// Regression for the deadlock where Exchange's background sender failed
+	// but the receive loop sat in Recv forever. No deadline is configured:
+	// the interrupt hook alone must surface the send failure.
+	netw := rpc.NewLoopbackNetwork(2)
+	defer netw.Close()
+	sendErr := errors.New("wire torn")
+	c0 := New(&failingSendTransport{Transport: netw.Transport(0), err: sendErr}, &metrics.Breakdown{})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c0.Exchange(Fence{Epoch: 0, Phase: 0}, rpc.KindFeatures, func(int) *rpc.Message {
+			return &rpc.Message{Kind: rpc.KindFeatures}
+		}, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, sendErr) {
+			t.Fatalf("want the send failure, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("exchange hung despite its sends failing")
+	}
+}
+
+func TestExchangeRejectsDuplicateSender(t *testing.T) {
+	// Two deliveries of the same (kind, fence) message from one sender —
+	// e.g. a duplicating network — must be a typed error, not a silent
+	// double-count.
+	netw := rpc.NewLoopbackNetwork(3)
+	defer netw.Close()
+	c0 := New(netw.Transport(0), &metrics.Breakdown{})
+	t1 := netw.Transport(1)
+	for i := 0; i < 2; i++ {
+		if err := t1.Send(0, &rpc.Message{Kind: rpc.KindFeatures, From: 1, Epoch: 0, Layer: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	go netw.Transport(1).Recv()
+	go netw.Transport(2).Recv()
+	_, err := c0.Exchange(Fence{Epoch: 0, Phase: 0}, rpc.KindFeatures, func(int) *rpc.Message {
+		return &rpc.Message{Kind: rpc.KindFeatures}
+	}, nil)
+	var de *DuplicateError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *DuplicateError, got %v", err)
+	}
+	if de.From != 1 {
+		t.Fatalf("duplicate sender: %+v", de)
+	}
+}
+
+func TestExchangeSurvivesFaultInjectedDelays(t *testing.T) {
+	// A lossy-but-alive network (delays + duplicates, no drops) must not
+	// break a barrier: delays reorder nothing per peer, and the duplicate
+	// detector only fires within one fence — these dups land across fences.
+	const k = 3
+	netw := rpc.NewLoopbackNetwork(k)
+	defer netw.Close()
+	errs := make([]error, k)
+	done := make(chan int, k)
+	for rank := 0; rank < k; rank++ {
+		go func(rank int) {
+			tr := rpc.NewFaultTransport(netw.Transport(rank), rpc.FaultConfig{
+				Seed: uint64(rank + 1), DelayProb: 0.3, Delay: time.Millisecond,
+			})
+			c := New(tr, &metrics.Breakdown{}, WithRecvTimeout(10*time.Second))
+			for epoch := int32(0); epoch < 5; epoch++ {
+				if errs[rank] = c.Barrier(Fence{Epoch: epoch}); errs[rank] != nil {
+					break
+				}
+			}
+			done <- rank
+		}(rank)
+	}
+	for i := 0; i < k; i++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("barrier sequence hung under fault injection")
+		}
+	}
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}

@@ -1,7 +1,10 @@
 package collective
 
 import (
+	"errors"
 	"fmt"
+	"sort"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/rpc"
@@ -38,39 +41,142 @@ func (e *OverflowError) Error() string {
 		e.Limit, e.Kind, e.From)
 }
 
+// TimeoutError reports a collective receive whose deadline expired before
+// every expected peer delivered. Missing names the ranks never heard from at
+// this fence — the dead or wedged workers to go look at.
+type TimeoutError struct {
+	Fence   Fence
+	Kind    rpc.MsgKind
+	Timeout time.Duration
+	Missing []int
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("collective: %s receive at fence (epoch %d, phase %d) timed out after %v waiting on workers %v",
+		e.Kind, e.Fence.Epoch, e.Fence.Phase, e.Timeout, e.Missing)
+}
+
+// AbortError reports that a peer broadcast an abort: its epoch failed and
+// the cluster is tearing down. The fence identifies where the sender failed.
+// Once observed, the abort is sticky — every later collective on this Comm
+// fails with the same error immediately.
+type AbortError struct {
+	From  int32
+	Fence Fence
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("collective: worker %d aborted at fence (epoch %d, phase %d)",
+		e.From, e.Fence.Epoch, e.Fence.Phase)
+}
+
+// DuplicateError reports two messages from the same sender at the same
+// (kind, fence) — a protocol violation (or a duplicating network) that would
+// otherwise silently double-count a peer's contribution.
+type DuplicateError struct {
+	From  int32
+	Kind  rpc.MsgKind
+	Fence Fence
+}
+
+func (e *DuplicateError) Error() string {
+	return fmt.Sprintf("collective: duplicate %s message from worker %d at fence (epoch %d, phase %d)",
+		e.Kind, e.From, e.Fence.Epoch, e.Fence.Phase)
+}
+
+// errDeadline is the mailbox-internal deadline signal; receive loops wrap it
+// into a *TimeoutError naming the fence and the missing peers.
+var errDeadline = errors.New("collective: receive deadline expired")
+
+// pollTick bounds how long a blocked receive goes without re-checking its
+// deadline and its interrupt hook (send failures, aborts racing in). Message
+// arrival wakes the transport immediately; the tick only paces idle waits.
+const pollTick = 5 * time.Millisecond
+
 // mailbox demultiplexes a transport's in-order message stream into the
 // (kind, fence)-matched deliveries collectives need. Messages ahead of the
 // current receive (later layers of the same epoch, or the next epoch a fast
 // peer already entered) are buffered up to limit; messages behind the fence
-// epoch are rejected with a typed *FenceError. It is confined to the
-// worker's epoch goroutine — no locking.
+// epoch are rejected with a typed *FenceError; abort control messages become
+// a sticky *AbortError. It is confined to the worker's epoch goroutine — no
+// locking.
 type mailbox struct {
 	tr      rpc.Transport
 	bd      *metrics.Breakdown
 	pending []*rpc.Message
 	limit   int
+	aborted *AbortError
 }
 
 // take returns the first message satisfying match, preferring buffered
 // messages (in arrival order) and then the live transport stream.
 // fenceEpoch is the epoch of the collective performing the receive.
-func (mb *mailbox) take(fenceEpoch int32, match func(*rpc.Message) bool) (*rpc.Message, error) {
+//
+// deadline bounds the wait (zero = no bound; expiry returns errDeadline for
+// the caller to wrap). interrupt, when non-nil, is polled while blocked and
+// its error returned — the hook Exchange uses to observe background send
+// failures without sitting in Recv forever. match may reject the stream with
+// an error (duplicate senders).
+func (mb *mailbox) take(fenceEpoch int32, deadline time.Time, interrupt func() error, match func(*rpc.Message) (bool, error)) (*rpc.Message, error) {
+	if mb.aborted != nil {
+		return nil, mb.aborted
+	}
 	for i, m := range mb.pending {
-		if match(m) {
+		ok, err := match(m)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			mb.pending = append(mb.pending[:i], mb.pending[i+1:]...)
 			return m, nil
 		}
 	}
 	for {
-		m, err := mb.tr.Recv()
+		if interrupt != nil {
+			if err := interrupt(); err != nil {
+				return nil, err
+			}
+		}
+		var (
+			m   *rpc.Message
+			err error
+		)
+		if deadline.IsZero() && interrupt == nil {
+			m, err = mb.tr.Recv()
+		} else {
+			wait := pollTick
+			if !deadline.IsZero() {
+				remaining := time.Until(deadline)
+				if remaining <= 0 {
+					mb.bd.CountTimeout()
+					return nil, errDeadline
+				}
+				if remaining < wait {
+					wait = remaining
+				}
+			}
+			m, err = mb.tr.RecvTimeout(wait)
+			if errors.Is(err, rpc.ErrRecvTimeout) {
+				continue
+			}
+		}
 		if err != nil {
 			return nil, err
 		}
 		mb.bd.CountRecv(classOf(m.Kind), m.NumBytes())
+		if m.Kind == rpc.KindAbort {
+			mb.aborted = &AbortError{From: m.From, Fence: Fence{Epoch: m.Epoch, Phase: m.Layer}}
+			mb.bd.CountAbort()
+			return nil, mb.aborted
+		}
 		if m.Epoch < fenceEpoch {
 			return nil, &FenceError{From: m.From, Kind: m.Kind, MsgEpoch: m.Epoch, WantEpoch: fenceEpoch}
 		}
-		if match(m) {
+		ok, merr := match(m)
+		if merr != nil {
+			return nil, merr
+		}
+		if ok {
 			return m, nil
 		}
 		if len(mb.pending) >= mb.limit {
@@ -80,25 +186,64 @@ func (mb *mailbox) take(fenceEpoch int32, match func(*rpc.Message) bool) (*rpc.M
 	}
 }
 
-// recvN collects exactly n messages matching (kind, fence).
-func (mb *mailbox) recvN(kind rpc.MsgKind, f Fence, n int) ([]*rpc.Message, error) {
+// recvN collects exactly n messages matching (kind, fence), at most one per
+// sender. A deadline expiry is wrapped into a *TimeoutError naming the ranks
+// never heard from; interrupt is polled while blocked (see take).
+func (mb *mailbox) recvN(kind rpc.MsgKind, f Fence, n int, timeout time.Duration, interrupt func() error) ([]*rpc.Message, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	seen := make(map[int32]bool, n)
 	out := make([]*rpc.Message, 0, n)
 	for len(out) < n {
-		m, err := mb.take(f.Epoch, func(m *rpc.Message) bool {
-			return m.Kind == kind && m.Epoch == f.Epoch && m.Layer == f.Phase
+		m, err := mb.take(f.Epoch, deadline, interrupt, func(m *rpc.Message) (bool, error) {
+			if m.Kind != kind || m.Epoch != f.Epoch || m.Layer != f.Phase {
+				return false, nil
+			}
+			if seen[m.From] {
+				return false, &DuplicateError{From: m.From, Kind: kind, Fence: f}
+			}
+			return true, nil
 		})
+		if errors.Is(err, errDeadline) {
+			return nil, &TimeoutError{Fence: f, Kind: kind, Timeout: timeout, Missing: mb.missingPeers(seen)}
+		}
 		if err != nil {
 			return nil, err
 		}
+		seen[m.From] = true
 		out = append(out, m)
 	}
 	return out, nil
 }
 
+// missingPeers lists the ranks (excluding self) not present in seen, in
+// rank order — the peers a timed-out collective is still waiting on.
+func (mb *mailbox) missingPeers(seen map[int32]bool) []int {
+	var missing []int
+	for q := 0; q < mb.tr.Size(); q++ {
+		if q == mb.tr.Rank() || seen[int32(q)] {
+			continue
+		}
+		missing = append(missing, q)
+	}
+	sort.Ints(missing)
+	return missing
+}
+
 // recvFrom collects the single (kind, fence) message sent by one peer —
 // the point-to-point receive of the ring steps.
-func (mb *mailbox) recvFrom(kind rpc.MsgKind, f Fence, from int) (*rpc.Message, error) {
-	return mb.take(f.Epoch, func(m *rpc.Message) bool {
-		return m.Kind == kind && m.Epoch == f.Epoch && m.Layer == f.Phase && int(m.From) == from
+func (mb *mailbox) recvFrom(kind rpc.MsgKind, f Fence, from int, timeout time.Duration) (*rpc.Message, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	m, err := mb.take(f.Epoch, deadline, nil, func(m *rpc.Message) (bool, error) {
+		return m.Kind == kind && m.Epoch == f.Epoch && m.Layer == f.Phase && int(m.From) == from, nil
 	})
+	if errors.Is(err, errDeadline) {
+		return nil, &TimeoutError{Fence: f, Kind: kind, Timeout: timeout, Missing: []int{from}}
+	}
+	return m, err
 }

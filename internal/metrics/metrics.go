@@ -58,6 +58,7 @@ const (
 	ClassGrads
 	ClassBarrier
 	ClassPlan
+	ClassAbort
 	NumMsgClasses
 )
 
@@ -74,6 +75,8 @@ func (c MsgClass) String() string {
 		return "barrier"
 	case ClassPlan:
 		return "plan"
+	case ClassAbort:
+		return "abort"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
@@ -90,9 +93,21 @@ type Breakdown struct {
 	MessagesRecv atomic.Int64
 	BytesRecv    atomic.Int64
 
+	// Aborts counts abort control messages observed (a peer's epoch failed
+	// and it told us); Timeouts counts receive deadlines that expired. Both
+	// are fail-fast events: a healthy run reports zero for each.
+	Aborts   atomic.Int64
+	Timeouts atomic.Int64
+
 	sentBy [NumMsgClasses]atomic.Int64
 	recvBy [NumMsgClasses]atomic.Int64
 }
+
+// CountAbort records one observed abort control message.
+func (b *Breakdown) CountAbort() { b.Aborts.Add(1) }
+
+// CountTimeout records one expired receive deadline.
+func (b *Breakdown) CountTimeout() { b.Timeouts.Add(1) }
 
 // CountSent records one outgoing message of class c with the given encoded
 // size, updating both the aggregate and the per-kind counters.
@@ -173,6 +188,8 @@ func (b *Breakdown) Merge(other *Breakdown) {
 	b.BytesSent.Add(other.BytesSent.Load())
 	b.MessagesRecv.Add(other.MessagesRecv.Load())
 	b.BytesRecv.Add(other.BytesRecv.Load())
+	b.Aborts.Add(other.Aborts.Load())
+	b.Timeouts.Add(other.Timeouts.Load())
 	for c := range b.sentBy {
 		b.sentBy[c].Add(other.sentBy[c].Load())
 		b.recvBy[c].Add(other.recvBy[c].Load())
@@ -190,6 +207,8 @@ func (b *Breakdown) Reset() {
 	b.BytesSent.Store(0)
 	b.MessagesRecv.Store(0)
 	b.BytesRecv.Store(0)
+	b.Aborts.Store(0)
+	b.Timeouts.Store(0)
 	for c := range b.sentBy {
 		b.sentBy[c].Store(0)
 		b.recvBy[c].Store(0)
@@ -229,5 +248,8 @@ func (b *Breakdown) TrafficTable() string {
 	fmt.Fprintf(&sb, "%-10s %14d %14d  (%d msgs out, %d in)",
 		"total", b.BytesSent.Load(), b.BytesRecv.Load(),
 		b.MessagesSent.Load(), b.MessagesRecv.Load())
+	if aborts, timeouts := b.Aborts.Load(), b.Timeouts.Load(); aborts > 0 || timeouts > 0 {
+		fmt.Fprintf(&sb, "\n%-10s aborts=%d timeouts=%d", "faults", aborts, timeouts)
+	}
 	return sb.String()
 }

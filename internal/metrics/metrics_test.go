@@ -89,6 +89,32 @@ func TestStageString(t *testing.T) {
 	}
 }
 
+func TestFaultCounters(t *testing.T) {
+	var a, b Breakdown
+	a.CountAbort()
+	a.CountAbort()
+	a.CountTimeout()
+	if a.Aborts.Load() != 2 || a.Timeouts.Load() != 1 {
+		t.Fatalf("counts: aborts=%d timeouts=%d", a.Aborts.Load(), a.Timeouts.Load())
+	}
+	b.CountTimeout()
+	b.Merge(&a)
+	if b.Aborts.Load() != 2 || b.Timeouts.Load() != 2 {
+		t.Fatalf("merged: aborts=%d timeouts=%d", b.Aborts.Load(), b.Timeouts.Load())
+	}
+	// The faults line appears only when something actually failed.
+	if table := b.TrafficTable(); !strings.Contains(table, "aborts=2") || !strings.Contains(table, "timeouts=2") {
+		t.Fatalf("TrafficTable missing faults line:\n%s", table)
+	}
+	b.Reset()
+	if b.Aborts.Load() != 0 || b.Timeouts.Load() != 0 {
+		t.Fatal("reset did not clear fault counters")
+	}
+	if strings.Contains(b.TrafficTable(), "faults") {
+		t.Fatal("healthy breakdown must not print a faults line")
+	}
+}
+
 func TestConcurrentUse(t *testing.T) {
 	var b Breakdown
 	var wg sync.WaitGroup

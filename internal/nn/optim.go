@@ -26,14 +26,21 @@ func NewSGD(params []*Value, lr float32) *SGD {
 	return &SGD{Params: params, LR: lr}
 }
 
-// Step applies p -= lr * (grad + wd*p).
+// Step applies p -= lr * (grad + wd*p). The decay term is folded into the
+// update without writing it back into p.Grad: gradients stay exactly what
+// backward produced, so a second Step (or any post-step gradient inspection)
+// never sees a decayed gradient.
 func (o *SGD) Step() {
 	for _, p := range o.Params {
 		if p.Grad == nil {
 			continue
 		}
 		if o.WeightDecay != 0 {
-			p.Grad.AddScaledInPlace(p.Data, o.WeightDecay)
+			pd, gd := p.Data.Data(), p.Grad.Data()
+			for j := range pd {
+				pd[j] -= o.LR * (gd[j] + o.WeightDecay*pd[j])
+			}
+			continue
 		}
 		p.Data.AddScaledInPlace(p.Grad, -o.LR)
 	}
@@ -83,16 +90,17 @@ func (o *Adam) Step() {
 			continue
 		}
 		g := p.Grad.Data()
-		if o.WeightDecay != 0 {
-			pd := p.Data.Data()
-			for j := range g {
-				g[j] += o.WeightDecay * pd[j]
-			}
-		}
 		md, vd, pd := o.m[i].Data(), o.v[i].Data(), p.Data.Data()
+		// Weight decay rides the update as a local term; p.Grad is never
+		// mutated, so repeated Steps and post-step inspection see the raw
+		// backward gradients.
 		for j := range g {
-			md[j] = o.Beta1*md[j] + (1-o.Beta1)*g[j]
-			vd[j] = o.Beta2*vd[j] + (1-o.Beta2)*g[j]*g[j]
+			gj := g[j]
+			if o.WeightDecay != 0 {
+				gj += o.WeightDecay * pd[j]
+			}
+			md[j] = o.Beta1*md[j] + (1-o.Beta1)*gj
+			vd[j] = o.Beta2*vd[j] + (1-o.Beta2)*gj*gj
 			mhat := md[j] / bc1
 			vhat := vd[j] / bc2
 			pd[j] -= o.LR * mhat / (float32(math.Sqrt(float64(vhat))) + o.Eps)

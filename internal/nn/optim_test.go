@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// decayFixture builds one parameter with a known gradient.
+func decayFixture() (*Value, []float32, []float32) {
+	data := []float32{1, -2, 0.5, 4}
+	grad := []float32{0.1, 0.2, -0.3, 0.4}
+	p := Param(tensor.FromSlice(append([]float32(nil), data...), 2, 2))
+	p.Grad = tensor.FromSlice(append([]float32(nil), grad...), 2, 2)
+	return p, data, grad
+}
+
+func TestSGDWeightDecayPreservesGradients(t *testing.T) {
+	// Regression: weight decay used to be folded into p.Grad in place, so a
+	// second Step (or any post-step gradient inspection) saw decayed
+	// gradients and the decay compounded.
+	p, data, grad := decayFixture()
+	o := &SGD{Params: []*Value{p}, LR: 0.1, WeightDecay: 0.01}
+	o.Step()
+	for j, g := range p.Grad.Data() {
+		if g != grad[j] {
+			t.Fatalf("grad[%d] mutated: %v -> %v", j, grad[j], g)
+		}
+	}
+	// The update itself must still include the decay term:
+	// p -= lr * (g + wd*p), with p the pre-step value.
+	for j, got := range p.Data.Data() {
+		want := data[j] - o.LR*(grad[j]+o.WeightDecay*data[j])
+		if got != want {
+			t.Fatalf("data[%d]: got %v, want %v", j, got, want)
+		}
+	}
+}
+
+func TestSGDWeightDecayDoesNotCompound(t *testing.T) {
+	// Two Steps with a frozen gradient must apply the decay against the
+	// current weights each time, never against a decayed gradient.
+	p, data, grad := decayFixture()
+	o := &SGD{Params: []*Value{p}, LR: 0.1, WeightDecay: 0.01}
+	o.Step()
+	o.Step()
+	for j, got := range p.Data.Data() {
+		want := data[j]
+		for s := 0; s < 2; s++ {
+			want -= o.LR * (grad[j] + o.WeightDecay*want)
+		}
+		if got != want {
+			t.Fatalf("data[%d] after two steps: got %v, want %v", j, got, want)
+		}
+	}
+}
+
+func TestAdamWeightDecayPreservesGradients(t *testing.T) {
+	p, data, grad := decayFixture()
+	o := NewAdam([]*Value{p}, 0.01)
+	o.WeightDecay = 0.02
+	o.Step()
+	for j, g := range p.Grad.Data() {
+		if g != grad[j] {
+			t.Fatalf("grad[%d] mutated: %v -> %v", j, grad[j], g)
+		}
+	}
+	// Reference single Adam step (t=1) with the decay riding the update.
+	for j, got := range p.Data.Data() {
+		gj := grad[j] + o.WeightDecay*data[j]
+		m := (1 - o.Beta1) * gj
+		v := (1 - o.Beta2) * gj * gj
+		mhat := m / (1 - o.Beta1)
+		vhat := v / (1 - o.Beta2)
+		want := data[j] - o.LR*mhat/(float32(math.Sqrt(float64(vhat)))+o.Eps)
+		if got != want {
+			t.Fatalf("data[%d]: got %v, want %v", j, got, want)
+		}
+	}
+}
+
+func TestSGDWithoutDecayMatchesPlainUpdate(t *testing.T) {
+	p, data, grad := decayFixture()
+	o := NewSGD([]*Value{p}, 0.5)
+	o.Step()
+	for j, got := range p.Data.Data() {
+		if want := data[j] - 0.5*grad[j]; got != want {
+			t.Fatalf("data[%d]: got %v, want %v", j, got, want)
+		}
+	}
+}

@@ -29,6 +29,11 @@ const (
 	// tasks and receive preferences) exchanged before the first epoch of an
 	// adjacency.
 	KindPlan
+	// KindAbort is the fail-fast control message: a worker whose epoch
+	// failed broadcasts it so every peer tears down instead of waiting for
+	// collectives that will never complete. Epoch/Layer identify the fence
+	// the sender failed at.
+	KindAbort
 
 	numKinds
 )
@@ -49,6 +54,8 @@ func (k MsgKind) String() string {
 		return "barrier"
 	case KindPlan:
 		return "plan"
+	case KindAbort:
+		return "abort"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

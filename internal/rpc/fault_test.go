@@ -1,0 +1,165 @@
+package rpc
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLoopbackRecvTimeout(t *testing.T) {
+	netw := NewLoopbackNetwork(2)
+	defer netw.Close()
+	t0 := netw.Transport(0)
+
+	start := time.Now()
+	if _, err := t0.RecvTimeout(20 * time.Millisecond); !errors.Is(err, ErrRecvTimeout) {
+		t.Fatalf("want ErrRecvTimeout, got %v", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("timeout returned early")
+	}
+	// The transport stays usable after a timeout.
+	if err := netw.Transport(1).Send(0, &Message{Kind: KindBarrier, From: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := t0.RecvTimeout(time.Second); err != nil || m.Kind != KindBarrier {
+		t.Fatalf("recv after timeout: %v %v", m, err)
+	}
+}
+
+func TestTCPRecvTimeout(t *testing.T) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	t1, err := NewTCPTransport(1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	addrs[1] = t1.Addr()
+	t0, err := NewTCPTransport(0, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	done := make(chan error, 1)
+	go func() { done <- t0.Connect() }()
+	if err := t1.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := t0.RecvTimeout(20 * time.Millisecond); !errors.Is(err, ErrRecvTimeout) {
+		t.Fatalf("want ErrRecvTimeout, got %v", err)
+	}
+	if err := t1.Send(0, &Message{Kind: KindGrads, From: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := t0.RecvTimeout(time.Second); err != nil || m.Kind != KindGrads {
+		t.Fatalf("recv after timeout: %v %v", m, err)
+	}
+}
+
+func TestFaultTransportDeterministicDrop(t *testing.T) {
+	// Same seed, same message sequence -> the same messages are dropped.
+	deliveredIDs := func(seed uint64) []int32 {
+		netw := NewLoopbackNetwork(2)
+		defer netw.Close()
+		ft := NewFaultTransport(netw.Transport(0), FaultConfig{Seed: seed, DropProb: 0.5})
+		for i := int32(0); i < 50; i++ {
+			if err := ft.Send(1, &Message{Kind: KindFeatures, From: 0, IDs: []int32{i}, Dim: 0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got []int32
+		for {
+			m, err := netw.Transport(1).RecvTimeout(10 * time.Millisecond)
+			if err != nil {
+				break
+			}
+			got = append(got, m.IDs[0])
+		}
+		return got
+	}
+	a, b := deliveredIDs(7), deliveredIDs(7)
+	if len(a) == 0 || len(a) == 50 {
+		t.Fatalf("DropProb 0.5 delivered %d/50 messages", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed delivered different counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed dropped different messages at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultTransportDuplicate(t *testing.T) {
+	netw := NewLoopbackNetwork(2)
+	defer netw.Close()
+	ft := NewFaultTransport(netw.Transport(0), FaultConfig{Seed: 3, DupProb: 1})
+	if err := ft.Send(1, &Message{Kind: KindBarrier, From: 0}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if m, err := netw.Transport(1).RecvTimeout(time.Second); err != nil || m.Kind != KindBarrier {
+			t.Fatalf("copy %d: %v %v", i, m, err)
+		}
+	}
+	if _, err := netw.Transport(1).RecvTimeout(10 * time.Millisecond); !errors.Is(err, ErrRecvTimeout) {
+		t.Fatalf("want exactly two copies, got a third (err=%v)", err)
+	}
+}
+
+func TestFaultTransportDelayKeepsOrder(t *testing.T) {
+	netw := NewLoopbackNetwork(2)
+	defer netw.Close()
+	ft := NewFaultTransport(netw.Transport(0), FaultConfig{Seed: 5, DelayProb: 1, Delay: 5 * time.Millisecond})
+	start := time.Now()
+	for i := int32(0); i < 3; i++ {
+		if err := ft.Send(1, &Message{Kind: KindFeatures, From: 0, IDs: []int32{i}, Dim: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("delays not applied")
+	}
+	for i := int32(0); i < 3; i++ {
+		m, err := netw.Transport(1).RecvTimeout(time.Second)
+		if err != nil || m.IDs[0] != i {
+			t.Fatalf("message %d: %v %v", i, m, err)
+		}
+	}
+}
+
+func TestFaultTransportCrashAtFence(t *testing.T) {
+	netw := NewLoopbackNetwork(2)
+	defer netw.Close()
+	ft := NewFaultTransport(netw.Transport(0), FaultConfig{CrashAtFence: true, CrashEpoch: 1})
+
+	// Epoch 0 traffic flows normally.
+	if err := ft.Send(1, &Message{Kind: KindGrads, From: 0, Epoch: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Crashed() {
+		t.Fatal("crashed before the scheduled fence")
+	}
+	// The first epoch-1 send kills the transport.
+	if err := ft.Send(1, &Message{Kind: KindGrads, From: 0, Epoch: 1}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if !ft.Crashed() {
+		t.Fatal("crash flag not set")
+	}
+	// Everything after the crash is dead.
+	if err := ft.Send(1, &Message{Kind: KindBarrier, From: 0, Epoch: 0}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("send after crash: %v", err)
+	}
+	if _, err := ft.Recv(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("recv after crash: %v", err)
+	}
+	if _, err := ft.RecvTimeout(time.Millisecond); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("recv-timeout after crash: %v", err)
+	}
+}

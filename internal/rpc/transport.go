@@ -23,9 +23,18 @@ type Transport interface {
 	Send(to int, msg *Message) error
 	// Recv blocks for the next incoming message.
 	Recv() (*Message, error)
+	// RecvTimeout blocks up to d for the next incoming message and returns
+	// ErrRecvTimeout if none arrives in time; d <= 0 blocks like Recv. The
+	// collective layer's receive deadlines are built on this.
+	RecvTimeout(d time.Duration) (*Message, error)
 	// Close tears the transport down; blocked Recv calls return an error.
 	Close() error
 }
+
+// ErrRecvTimeout is returned by RecvTimeout when the wait expires without a
+// message. It is a transient condition, not a transport failure: the caller
+// may keep receiving.
+var ErrRecvTimeout = errors.New("rpc: receive timed out")
 
 // ---------------------------------------------------------------------------
 // Loopback: in-process transport over channels.
@@ -94,6 +103,33 @@ func (l *loopback) Recv() (*Message, error) {
 		return m, nil
 	case <-l.net.closed:
 		// Drain any message racing with close.
+		select {
+		case m := <-l.net.inboxes[l.rank]:
+			return m, nil
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+func (l *loopback) RecvTimeout(d time.Duration) (*Message, error) {
+	if d <= 0 {
+		return l.Recv()
+	}
+	// Fast path: a delivered message never pays for a timer.
+	select {
+	case m := <-l.net.inboxes[l.rank]:
+		return m, nil
+	default:
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case m := <-l.net.inboxes[l.rank]:
+		return m, nil
+	case <-timer.C:
+		return nil, ErrRecvTimeout
+	case <-l.net.closed:
 		select {
 		case m := <-l.net.inboxes[l.rank]:
 			return m, nil
@@ -358,6 +394,38 @@ func (t *TCPTransport) Recv() (*Message, error) {
 	case <-t.allEOF:
 		// Every peer finished; drain anything that raced ahead of the
 		// last close before declaring the stream over.
+		select {
+		case m := <-t.inbox:
+			return m, nil
+		default:
+			return nil, io.EOF
+		}
+	case <-t.done:
+		return nil, io.EOF
+	}
+}
+
+// RecvTimeout is Recv with a bounded wait; it returns ErrRecvTimeout when d
+// elapses without a message, transport error or end of stream.
+func (t *TCPTransport) RecvTimeout(d time.Duration) (*Message, error) {
+	if d <= 0 {
+		return t.Recv()
+	}
+	select {
+	case m := <-t.inbox:
+		return m, nil
+	default:
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case m := <-t.inbox:
+		return m, nil
+	case <-timer.C:
+		return nil, ErrRecvTimeout
+	case err := <-t.errs:
+		return nil, err
+	case <-t.allEOF:
 		select {
 		case m := <-t.inbox:
 			return m, nil
