@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build test race chaos vet fmt bench bench-comm
+.PHONY: ci build test race chaos trace-smoke vet fmt bench bench-comm
 
-ci: vet fmt race chaos test
+ci: vet fmt race chaos trace-smoke test
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,12 @@ test:
 
 # Race-check the packages the kernel hot path and the communication plane
 # touch (includes the fault-injection chaos tests, which live in the rpc,
-# collective and cluster packages).
+# collective and cluster packages, and the lock-free span ring / metrics
+# registry behind the observability layer).
 race: chaos
 	$(GO) test -race ./internal/tensor/... ./internal/engine/... \
-		./internal/rpc/... ./internal/collective/... ./internal/cluster/...
+		./internal/rpc/... ./internal/collective/... ./internal/cluster/... \
+		./internal/metrics/... ./internal/trace/...
 
 # Fault-injection chaos tests, uncached and under the race detector: crash a
 # worker mid-epoch, expire receive deadlines, inject drops/dups/delays, and
@@ -23,6 +25,14 @@ race: chaos
 chaos:
 	$(GO) test -race -count=1 -run 'FailFast|Fault|Abort|Timeout|Duplicate|RecvTimeout' \
 		./internal/rpc/... ./internal/collective/... ./internal/cluster/...
+
+# Observability end-to-end smoke: a multi-worker loopback epoch with
+# tracing and metrics on must yield a parseable Chrome trace with epoch,
+# stage and fence spans from every rank, populated fence-wait histograms
+# and a per-epoch workload-balance report.
+trace-smoke:
+	$(GO) test -count=1 -run 'TraceSmoke|BalanceReport' \
+		./internal/cluster/... ./internal/trace/... ./internal/metrics/...
 
 vet:
 	$(GO) vet ./...
@@ -32,11 +42,29 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Kernel before/after microbenchmarks (results recorded in BENCH_kernels.json).
+# Kernel before/after microbenchmarks (historical numbers recorded in
+# BENCH_kernels.json); appends a machine-readable snapshot to
+# BENCH_kernels.latest.json like bench-comm does. The awk scans for the
+# unit tokens rather than fixed columns because benchmem output only
+# carries MB/s for kernels that call SetBytes.
 bench:
-	$(GO) test -run xxx -bench 'Kernel' -benchmem ./internal/tensor/
-	$(GO) test -run xxx -bench 'Fused' -benchmem ./internal/engine/
-	$(GO) test -run xxx -bench 'TrainStep' -benchmem .
+	@{ $(GO) test -run xxx -bench 'Kernel' -benchmem ./internal/tensor/; \
+	   $(GO) test -run xxx -bench 'Fused' -benchmem ./internal/engine/; \
+	   $(GO) test -run xxx -bench 'TrainStep' -benchmem .; \
+	   $(GO) test -run xxx -bench 'Span|Record' -benchmem ./internal/trace/; } | tee /tmp/bench_kernels.txt
+	@awk 'BEGIN { printf "{\n  \"benchmarks\": [\n"; first = 1 } \
+	/^Benchmark/ { ns = ""; bytes = ""; allocs = ""; \
+		for (i = 2; i < NF; i++) { \
+			if ($$(i+1) == "ns/op") ns = $$i; \
+			else if ($$(i+1) == "B/op") bytes = $$i; \
+			else if ($$(i+1) == "allocs/op") allocs = $$i; \
+		} \
+		if (ns == "") next; \
+		if (!first) printf ",\n"; first = 0; \
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+			$$1, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs) } \
+	END { printf "\n  ]\n}\n" }' /tmp/bench_kernels.txt > BENCH_kernels.latest.json
+	@echo "wrote BENCH_kernels.latest.json"
 
 # Codec microbenchmarks; appends a machine-readable snapshot to
 # BENCH_comm.json (see that file for the recorded before/after numbers).

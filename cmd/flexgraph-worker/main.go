@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	flexgraph "repro"
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -42,6 +43,12 @@ func main() {
 	dialBackoff := flag.Duration("dial-backoff", 0, "initial mesh dial retry delay (0 = default)")
 	recvTimeout := flag.Duration("recv-timeout", 30*time.Second,
 		"collective receive deadline: a dead or wedged peer surfaces as a typed timeout naming the missing ranks instead of hanging the cluster (0 disables)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve live introspection on this address: /metrics (text; ?format=json), /trace (JSONL), /trace/chrome, /debug/vars, /debug/pprof ('' disables)")
+	traceOut := flag.String("trace-out", "",
+		"write this worker's span timeline as Chrome trace-event JSON to this file at exit — load it in Perfetto or chrome://tracing ('' disables)")
+	traceCap := flag.Int("trace-cap", 0,
+		"span ring capacity, rounded up to a power of two (0 = default; oldest spans are overwritten when full)")
 	flag.Parse()
 
 	var gs cluster.GradSync
@@ -81,6 +88,28 @@ func main() {
 		log.Fatalf("unknown model %q", *modelName)
 	}
 
+	// Observability: the tracer and registry are nil-safe throughout the
+	// stack, so both stay nil (≈1 ns per instrumentation site) unless a
+	// flag asks for them. Everything goes through the public flexgraph
+	// re-exports — commands never import internal/trace.
+	var tracer *flexgraph.Tracer
+	if *traceOut != "" || *debugAddr != "" {
+		tracer = flexgraph.NewTracer(*traceCap)
+	}
+	var reg *flexgraph.MetricsRegistry
+	if *debugAddr != "" || *traceOut != "" {
+		reg = flexgraph.NewMetricsRegistry()
+		flexgraph.SetGrainHistogram(reg.Histogram("engine.grain_ns"))
+	}
+	if *debugAddr != "" {
+		bound, shutdown, err := flexgraph.ServeDebug(*debugAddr, tracer, reg)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer shutdown()
+		log.Printf("worker %d debug server on http://%s (/metrics /trace /debug/pprof)", *rank, bound)
+	}
+
 	tr, err := rpc.NewTCPTransport(*rank, addrs)
 	if err != nil {
 		log.Fatal(err)
@@ -92,6 +121,9 @@ func main() {
 	if *dialBackoff > 0 {
 		tr.DialBackoff = *dialBackoff
 	}
+	// Attach metrics before Connect so mesh dial retries are counted too
+	// (newWorker would wire them, but only after the mesh is up).
+	tr.SetMetrics(reg)
 	log.Printf("worker %d listening on %s, connecting mesh of %d", *rank, tr.Addr(), len(addrs))
 	if err := tr.Connect(); err != nil {
 		log.Fatalf("mesh connect: %v", err)
@@ -106,6 +138,16 @@ func main() {
 		GradSync:    gs,
 		RingChunk:   *ringChunk,
 		RecvTimeout: *recvTimeout,
+		Tracer:      tracer,
+		Metrics:     reg,
+		OnEpoch: func(epoch int, loss float32, balance *flexgraph.BalanceReport) {
+			// Rank 0 prints the Fig. 14-style per-rank stage table each
+			// epoch: every rank's stage seconds ride the gradient fence,
+			// so the straggler view needs no extra collective round.
+			if balance != nil {
+				fmt.Print(balance)
+			}
+		},
 	}
 	start := time.Now()
 	losses, breakdown, err := cluster.RunWorker(cfg, d, factory, tr)
@@ -119,4 +161,11 @@ func main() {
 		*rank, time.Since(start).Round(time.Millisecond),
 		breakdown.MessagesSent.Load(), breakdown.BytesSent.Load())
 	fmt.Print(breakdown.TrafficTable())
+	if *traceOut != "" {
+		if err := tracer.WriteChromeTraceFile(*traceOut); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		log.Printf("worker %d wrote %d spans to %s (dropped %d) — open in Perfetto (ui.perfetto.dev) or chrome://tracing",
+			*rank, tracer.Len(), *traceOut, tracer.Dropped())
+	}
 }

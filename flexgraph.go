@@ -41,6 +41,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/partition"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // Core data types.
@@ -325,6 +326,59 @@ var (
 	HopFrontierUDF = nau.HopFrontierUDF
 	// NewSchemaTree builds a schema tree from neighbor type names.
 	NewSchemaTree = hdg.NewSchemaTree
+)
+
+// Observability: structured tracing, the metrics registry and live worker
+// introspection. All hooks are nil-safe — an unconfigured run pays ~1 ns
+// per instrumentation site — so commands and examples can thread a Tracer
+// and MetricsRegistry through ClusterConfig (or Trainer.Tracer) without
+// importing internal packages.
+type (
+	// Tracer records rank-tagged spans into a fixed-size lock-free ring.
+	Tracer = trace.Tracer
+	// TraceSpan is one recorded span (rank, epoch, phase, category, name).
+	TraceSpan = trace.Span
+	// TraceRegion is an in-flight span returned by Tracer.Begin.
+	TraceRegion = trace.Region
+	// MetricsRegistry names counters, gauges and latency histograms.
+	MetricsRegistry = metrics.Registry
+	// MetricCounter is a monotonically increasing counter.
+	MetricCounter = metrics.Counter
+	// MetricGauge is a last-value float metric.
+	MetricGauge = metrics.Gauge
+	// MetricHistogram is a log-bucketed latency histogram.
+	MetricHistogram = metrics.Histogram
+	// BalanceReport is the per-epoch Fig. 14-style per-rank stage table
+	// assembled inside the gradient-sync fence.
+	BalanceReport = metrics.BalanceReport
+)
+
+// Span categories on TraceSpan.Cat (timeline lanes in the Chrome export).
+const (
+	TraceCatEpoch = trace.CatEpoch
+	TraceCatStage = trace.CatStage
+	TraceCatFence = trace.CatFence
+	TraceCatComm  = trace.CatComm
+)
+
+var (
+	// NewTracer allocates a span ring (capacity rounded up to a power of
+	// two; <= 0 selects the default). A nil *Tracer is a valid no-op.
+	NewTracer = trace.New
+	// NewMetricsRegistry returns an empty metrics registry. A nil
+	// *MetricsRegistry hands out nil (no-op) instruments.
+	NewMetricsRegistry = metrics.NewRegistry
+	// WriteChromeTrace writes spans as Chrome trace-event JSON
+	// (chrome://tracing / Perfetto), one process per rank.
+	WriteChromeTrace = trace.WriteChromeTrace
+	// WriteTraceJSONL writes spans as one JSON object per line.
+	WriteTraceJSONL = trace.WriteJSONL
+	// ServeDebug serves /metrics, /trace, expvar and pprof on addr and
+	// returns the bound address plus a shutdown func.
+	ServeDebug = trace.ServeDebug
+	// SetGrainHistogram observes every engine aggregation grain's duration
+	// into h (nil detaches).
+	SetGrainHistogram = engine.SetGrainHistogram
 )
 
 // NN building blocks for custom layers.

@@ -17,6 +17,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/rpc"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // GradSync selects the gradient synchronisation algorithm.
@@ -60,6 +61,18 @@ type Config struct {
 	// ranks, instead of hanging the epoch; the detecting worker then
 	// broadcasts an abort so every survivor fails fast.
 	RecvTimeout time.Duration
+	// Tracer records rank-tagged epoch/stage/fence spans (nil = off). In
+	// an in-process Train cluster all workers share the ring; with
+	// RunWorker each process owns its own tracer.
+	Tracer *trace.Tracer
+	// Metrics registers hot-path counters, gauges and histograms (fence
+	// waits, rpc latency, epoch loss and wall-clock) on the given registry
+	// (nil = off).
+	Metrics *metrics.Registry
+	// OnEpoch, when non-nil, runs on rank 0 after every epoch with the
+	// global loss and the per-rank workload-balance report assembled
+	// inside the gradient-sync fence — the Fig. 14-style straggler table.
+	OnEpoch func(epoch int, loss float32, balance *metrics.BalanceReport)
 }
 
 // ModelFactory builds a fresh model replica; it is called once per worker
@@ -76,6 +89,9 @@ type Result struct {
 	PerWorker []*metrics.Breakdown
 	// Merged aggregates all workers' breakdowns.
 	Merged *metrics.Breakdown
+	// Balance holds the per-epoch workload-balance reports assembled inside
+	// the gradient-sync fence (per-rank stage seconds, max/mean skew, CV).
+	Balance []*metrics.BalanceReport
 }
 
 // Train runs cfg.Epochs of data-parallel training over an in-process
@@ -131,6 +147,7 @@ func Train(cfg Config, d *dataset.Dataset, factory ModelFactory) (*Result, error
 		}
 		res.Losses = append(res.Losses, losses[0])
 		res.EpochTimes = append(res.EpochTimes, time.Since(start))
+		res.Balance = append(res.Balance, workers[0].lastBalance)
 	}
 	for _, w := range workers {
 		res.Merged.Merge(w.breakdown)
@@ -236,13 +253,22 @@ func newWorker(rank int, cfg Config, d *dataset.Dataset, factory ModelFactory, t
 	model := factory(rng)
 	params := model.Parameters()
 	breakdown := &metrics.Breakdown{}
+	// Observability plumbing: the transport reports send latency and dial
+	// retries to the registry when it knows how; the collective plane tags
+	// fence waits and all-reduce laps with spans and histograms. All hooks
+	// are nil-safe, so an unconfigured run pays only pointer tests.
+	if ms, ok := tr.(rpc.MetricsSetter); ok {
+		ms.SetMetrics(cfg.Metrics)
+	}
 	w := &worker{
 		rank: rank,
 		k:    cfg.NumWorkers,
 		cfg:  cfg,
 		comm: collective.New(tr, breakdown,
 			collective.WithRingChunk(cfg.RingChunk),
-			collective.WithRecvTimeout(cfg.RecvTimeout)),
+			collective.WithRecvTimeout(cfg.RecvTimeout),
+			collective.WithTracer(cfg.Tracer),
+			collective.WithMetrics(cfg.Metrics)),
 		g:         d.Graph,
 		owner:     p.Assign,
 		roots:     roots,
@@ -258,6 +284,12 @@ func newWorker(rank int, cfg Config, d *dataset.Dataset, factory ModelFactory, t
 		rng:       tensor.NewRNG(cfg.Seed + 1000),
 		breakdown: breakdown,
 		plans:     make(map[*engine.Adjacency]*workerPlan),
+		tracer:    cfg.Tracer,
+		// Per-epoch cluster instruments (set on rank 0 only); nil-safe
+		// no-ops when no registry is configured.
+		lossGauge:  cfg.Metrics.Gauge("cluster.epoch_loss"),
+		epochGauge: cfg.Metrics.Gauge("cluster.epoch_seconds"),
+		epochsCtr:  cfg.Metrics.Counter("cluster.epochs"),
 	}
 	w.ctx = &nau.Context{
 		Graph:          d.Graph,
@@ -295,10 +327,12 @@ func (w *worker) ensureHDG() error {
 	layer := w.model.Layers[0]
 	schema, udf := layer.Schema(), layer.NeighborUDF()
 	epochSeed := w.cfg.Seed ^ (uint64(w.epoch+1) * 0x9e3779b97f4a7c15)
+	span := w.tracer.Begin(int32(w.rank), w.epoch, 0, trace.CatStage, "select")
 	start := time.Now()
 	records := selectSeeded(w.g, schema, udf, w.roots, epochSeed)
 	h, err := hdg.Build(schema, w.roots, records)
 	w.breakdown.Add(metrics.StageNeighborSelection, time.Since(start))
+	span.End()
 	if err != nil {
 		return err
 	}
@@ -346,6 +380,11 @@ func (w *worker) runEpoch() (loss float32, err error) {
 		}
 	}()
 	w.aggCalls = 0
+	epochStart := time.Now()
+	// Snapshot the cumulative stage breakdown so syncGradients can ship
+	// this epoch's per-stage deltas inside the gradient fence.
+	w.stageMark = w.breakdown.StageTimes()
+	defer w.tracer.Begin(int32(w.rank), w.epoch, 0, trace.CatEpoch, "epoch").End()
 	if err := w.ensureHDG(); err != nil {
 		return 0, err
 	}
@@ -354,10 +393,12 @@ func (w *worker) runEpoch() (loss float32, err error) {
 
 	hLocal := w.forward()
 	lossV, masked := w.localLoss(hLocal)
+	bspan := w.tracer.Begin(int32(w.rank), w.epoch, 0, trace.CatStage, "backward")
 	w.breakdown.Time(metrics.StageBackward, func() {
 		w.opt.ZeroGrad()
 		lossV.Backward()
 	})
+	bspan.End()
 	globalLoss, err := w.syncGradients(lossV.Data.At(0, 0), masked)
 	if err != nil {
 		return 0, err
@@ -365,6 +406,14 @@ func (w *worker) runEpoch() (loss float32, err error) {
 	w.breakdown.Time(metrics.StageBackward, func() {
 		w.opt.Step()
 	})
+	if w.rank == 0 {
+		w.lossGauge.Set(float64(globalLoss))
+		w.epochGauge.Set(time.Since(epochStart).Seconds())
+		w.epochsCtr.Inc()
+		if w.cfg.OnEpoch != nil {
+			w.cfg.OnEpoch(int(w.epoch), globalLoss, w.lastBalance)
+		}
+	}
 	w.epoch++
 	return globalLoss, nil
 }
@@ -375,13 +424,15 @@ func (w *worker) runEpoch() (loss float32, err error) {
 // collective exchanges.
 func (w *worker) forward() *nn.Value {
 	hLocal := nn.Gather(nn.Constant(w.features), w.rootIdx)
-	for _, layer := range w.model.Layers {
+	for li, layer := range w.model.Layers {
 		var nbr *nn.Value
 		syncBefore := w.breakdown.Get(metrics.StageSync)
 		aggBefore := w.breakdown.Get(metrics.StageAggregation)
+		aspan := w.tracer.Begin(int32(w.rank), w.epoch, int32(li), trace.CatStage, "aggregate")
 		start := time.Now()
 		nbr = layer.Aggregation(w.ctx, hLocal)
 		elapsed := time.Since(start)
+		aspan.End()
 		// AggregateBottom already recorded its sync and fused-compute
 		// slices; attribute the remainder (intermediate/schema levels) to
 		// Aggregation without double counting.
@@ -390,9 +441,11 @@ func (w *worker) forward() *nn.Value {
 		if rest := elapsed - inner; rest > 0 {
 			w.breakdown.Add(metrics.StageAggregation, rest)
 		}
+		uspan := w.tracer.Begin(int32(w.rank), w.epoch, int32(li), trace.CatStage, "update")
 		w.breakdown.Time(metrics.StageUpdate, func() {
 			hLocal = layer.Update(w.ctx, hLocal, nbr)
 		})
+		uspan.End()
 	}
 	return hLocal
 }
@@ -415,14 +468,25 @@ func (w *worker) localLoss(hLocal *nn.Value) (*nn.Value, int) {
 }
 
 // syncGradients all-reduces the flattened parameter gradients (plus the
-// loss and the masked count riding in the last two slots), rescaling each
-// worker's contribution by its masked-vertex count so the summed gradient
-// matches single-machine whole-graph training. Returns the global loss.
+// loss and the masked count riding in the next two slots, plus each rank's
+// per-stage epoch seconds in the trailing k·StageCount slots), rescaling
+// each worker's contribution by its masked-vertex count so the summed
+// gradient matches single-machine whole-graph training. Returns the global
+// loss.
+//
+// The stage-seconds tail turns the sum-all-reduce into a gather for free:
+// each rank writes only its own region (everyone else's region stays zero,
+// so summing reproduces every rank's values on every rank). After the
+// reduce, each worker assembles the epoch's workload-balance report —
+// the paper's Fig. 14-style per-rank stage table — with no extra
+// collective round.
 //
 // The default ring algorithm ships at most 2·|payload| bytes per worker
 // regardless of k; GradSyncBroadcast restores the (k−1)·|payload|
 // all-to-all, bit-identical by construction (both sum in rank order).
 func (w *worker) syncGradients(localLoss float32, localCount int) (float32, error) {
+	span := w.tracer.Begin(int32(w.rank), w.epoch, 0, trace.CatStage, "gradsync")
+	defer span.End()
 	syncStart := time.Now()
 	defer func() { w.breakdown.Add(metrics.StageSync, time.Since(syncStart)) }()
 
@@ -431,7 +495,8 @@ func (w *worker) syncGradients(localLoss float32, localCount int) (float32, erro
 	for _, p := range w.params {
 		total += p.Data.Len()
 	}
-	payload := make([]float32, total+2)
+	stageBase := total + 2
+	payload := make([]float32, stageBase+w.k*metrics.StageCount)
 	off := 0
 	for _, p := range w.params {
 		if p.Grad != nil {
@@ -445,6 +510,14 @@ func (w *worker) syncGradients(localLoss float32, localCount int) (float32, erro
 	}
 	payload[total] = localLoss * float32(localCount)
 	payload[total+1] = float32(localCount)
+	// This epoch's per-stage seconds: cumulative breakdown minus the mark
+	// taken at epoch start. Sync time is still accumulating (we are inside
+	// it), so the report slightly undercounts StageSync by the reduce
+	// itself — the compute stages, where stragglers live, are exact.
+	stageNow := w.breakdown.StageTimes()
+	for s := 0; s < metrics.StageCount; s++ {
+		payload[stageBase+w.rank*metrics.StageCount+s] = float32((stageNow[s] - w.stageMark[s]).Seconds())
+	}
 
 	fence := collective.Fence{Epoch: w.epoch, Phase: 0}
 	var err error
@@ -457,6 +530,15 @@ func (w *worker) syncGradients(localLoss float32, localCount int) (float32, erro
 	if err != nil {
 		return 0, fmt.Errorf("cluster: gradient all-reduce: %w", err)
 	}
+
+	// Assemble the balance report from the gathered stage-seconds tail.
+	rep := metrics.NewBalanceReport(int(w.epoch), w.k)
+	for q := 0; q < w.k; q++ {
+		for s := 0; s < metrics.StageCount; s++ {
+			rep.Set(metrics.Stage(s), q, float64(payload[stageBase+q*metrics.StageCount+s]))
+		}
+	}
+	w.lastBalance = rep
 
 	totalCount := payload[total+1]
 	if totalCount == 0 {

@@ -42,12 +42,13 @@ func TestRingAndBroadcastLossesBitIdentical(t *testing.T) {
 // regardless of k, while broadcast ships (k−1)·|payload|.
 func TestGradientBytesBoundedByTwicePayload(t *testing.T) {
 	d := dataset.RedditLike(dataset.Config{Scale: 0.02, Seed: 32})
-	// |payload| = all parameter words + loss and mask-count slots.
-	words := 2
+	const epochs, k = 3, 4
+	// |payload| = all parameter words + loss and mask-count slots + the
+	// k·StageCount stage-seconds tail carrying the straggler report.
+	words := 2 + k*metrics.StageCount
 	for _, p := range gcnFactory(d)(tensor.NewRNG(33)).Parameters() {
 		words += p.Data.Len()
 	}
-	const epochs, k = 3, 4
 	payload := int64(4 * words * epochs)
 	// 5% headroom covers per-chunk frame headers.
 	ringBound := payload*2 + payload/20

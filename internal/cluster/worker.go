@@ -14,6 +14,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/rpc"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // worker is one shared-nothing training participant. It owns a disjoint set
@@ -50,6 +51,20 @@ type worker struct {
 	ctx       *nau.Context
 	localHDG  *hdg.HDG
 	breakdown *metrics.Breakdown
+
+	// tracer records rank-tagged epoch and stage spans (nil = off).
+	tracer *trace.Tracer
+	// Rank-0 per-epoch instruments (nil-safe no-ops when Config.Metrics is
+	// unset).
+	lossGauge  *metrics.Gauge
+	epochGauge *metrics.Gauge
+	epochsCtr  *metrics.Counter
+	// stageMark snapshots the cumulative stage breakdown at epoch start so
+	// syncGradients can ship this epoch's per-stage deltas to its peers.
+	stageMark [metrics.StageCount]time.Duration
+	// lastBalance is the most recent epoch's workload-balance report (the
+	// Fig. 14-style per-rank stage table), assembled after gradient sync.
+	lastBalance *metrics.BalanceReport
 
 	epoch    int32
 	aggCalls int32 // aggregation call counter within the epoch (layer tag)

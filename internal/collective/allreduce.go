@@ -2,9 +2,11 @@ package collective
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/rpc"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // Ring all-reduce.
@@ -31,6 +33,19 @@ import (
 func reduceTag(base int32, chunk int) int32     { return base + int32(2*chunk) }
 func distributeTag(base int32, chunk int) int32 { return base + int32(2*chunk+1) }
 
+// recvStep is a ring-step receive with fence-wait accounting: the time
+// blocked on the ring predecessor lands in the same per-rank straggler-wait
+// histogram the fenced collectives feed.
+func (c *Comm) recvStep(kind rpc.MsgKind, f Fence, from int) (*rpc.Message, error) {
+	if c.fenceWait == nil {
+		return c.mb.recvFrom(kind, f, from, c.recvTimeout)
+	}
+	t0 := time.Now()
+	m, err := c.mb.recvFrom(kind, f, from, c.recvTimeout)
+	c.fenceWait.ObserveSince(t0)
+	return m, err
+}
+
 // AllReduce sums data elementwise across all workers, in place, using the
 // chunked ring algorithm. kind tags the wire messages (gradient sync uses
 // rpc.KindGrads). At most one AllReduce of a given kind may run per fence.
@@ -38,6 +53,10 @@ func (c *Comm) AllReduce(f Fence, data []float32, kind rpc.MsgKind) error {
 	k, rank := c.tr.Size(), c.tr.Rank()
 	if k == 1 || len(data) == 0 {
 		return nil
+	}
+	c.ops.Inc()
+	if c.tracer != nil {
+		defer c.tracer.Begin(int32(rank), f.Epoch, f.Phase, trace.CatComm, "allreduce").End()
 	}
 	last := k - 1
 	next, prev := (rank+1)%k, (rank-1+k)%k
@@ -62,7 +81,7 @@ func (c *Comm) AllReduce(f Fence, data []float32, kind rpc.MsgKind) error {
 	for ci := 0; ci < nchunks; ci++ {
 		seg := segment(ci)
 		if rank > 0 {
-			m, err := c.mb.recvFrom(kind, Fence{f.Epoch, reduceTag(f.Phase, ci)}, prev, c.recvTimeout)
+			m, err := c.recvStep(kind, Fence{f.Epoch, reduceTag(f.Phase, ci)}, prev)
 			if err != nil {
 				return err
 			}
@@ -87,7 +106,7 @@ func (c *Comm) AllReduce(f Fence, data []float32, kind rpc.MsgKind) error {
 	// predecessor and forward them until the lap closes at rank k−2.
 	for ci := 0; ci < nchunks; ci++ {
 		seg := segment(ci)
-		m, err := c.mb.recvFrom(kind, Fence{f.Epoch, distributeTag(f.Phase, ci)}, prev, c.recvTimeout)
+		m, err := c.recvStep(kind, Fence{f.Epoch, distributeTag(f.Phase, ci)}, prev)
 		if err != nil {
 			return err
 		}

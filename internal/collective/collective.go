@@ -21,12 +21,14 @@ package collective
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 // Fence identifies one synchronisation phase: the training epoch plus a
@@ -47,6 +49,14 @@ type Comm struct {
 	mb          *mailbox
 	ringChunk   int
 	recvTimeout time.Duration
+
+	// tracer records fence-wait and all-reduce spans (nil = off).
+	tracer *trace.Tracer
+	// fenceWait observes nanoseconds blocked waiting for peers at each
+	// collective fence — the per-rank straggler-wait histogram (nil = off).
+	fenceWait *metrics.Histogram
+	// ops counts collective operations started on this Comm (nil = off).
+	ops *metrics.Counter
 }
 
 // DefaultRingChunk is the ring all-reduce segment size in float32 words
@@ -92,6 +102,28 @@ func WithRecvTimeout(d time.Duration) Option {
 		if d > 0 {
 			c.recvTimeout = d
 		}
+	}
+}
+
+// WithTracer records a span for every collective fence wait (category
+// trace.CatFence) and all-reduce (trace.CatComm) into t. A nil tracer
+// leaves tracing off.
+func WithTracer(t *trace.Tracer) Option {
+	return func(c *Comm) { c.tracer = t }
+}
+
+// WithMetrics registers this communicator's hot-path instruments on r: the
+// per-rank fence-wait histogram "collective.fence_wait_ns.rank<i>" (time
+// blocked waiting for peers — the straggler wait) and the operation counter
+// "collective.ops.rank<i>". A nil registry leaves metrics off.
+func WithMetrics(r *metrics.Registry) Option {
+	return func(c *Comm) {
+		if r == nil {
+			return
+		}
+		rank := c.tr.Rank()
+		c.fenceWait = r.Histogram(fmt.Sprintf("collective.fence_wait_ns.rank%d", rank))
+		c.ops = r.Counter(fmt.Sprintf("collective.ops.rank%d", rank))
 	}
 }
 
@@ -192,7 +224,22 @@ func (c *Comm) Exchange(f Fence, recvKind rpc.MsgKind, build func(peer int) *rpc
 		}
 		return nil
 	}
+	// The fence wait — time blocked until every peer delivers — is the
+	// straggler signal: it becomes a per-rank span and a histogram sample.
+	c.ops.Inc()
+	var span trace.Region
+	if c.tracer != nil {
+		span = c.tracer.Begin(int32(rank), f.Epoch, f.Phase, trace.CatFence, recvKind.String())
+	}
+	var waitStart time.Time
+	if c.fenceWait != nil {
+		waitStart = time.Now()
+	}
 	msgs, recvErr := c.mb.recvN(recvKind, f, k-1, c.recvTimeout, interrupt)
+	if c.fenceWait != nil {
+		c.fenceWait.ObserveSince(waitStart)
+	}
+	span.End()
 	if recvErr != nil {
 		// Do not wait for the sender goroutine: with a dead peer it may be
 		// blocked in a write that only transport teardown can unblock.

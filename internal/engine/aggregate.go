@@ -3,8 +3,10 @@ package engine
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/hdg"
+	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
@@ -66,11 +68,30 @@ func SetEdgeBalancedSplit(on bool) { edgeBalanceOff.Store(!on) }
 // EdgeBalancedSplit reports whether edge-balanced splitting is enabled.
 func EdgeBalancedSplit() bool { return !edgeBalanceOff.Load() }
 
+// grainHist, when installed, observes the wall-clock duration of every
+// fused-aggregation grain (one worker's destination range) in nanoseconds —
+// the distribution a skewed graph shows as a heavy tail even when the
+// stage totals look balanced. Disabled cost: one atomic load per kernel
+// launch, not per grain.
+var grainHist atomic.Pointer[metrics.Histogram]
+
+// SetGrainHistogram installs (or, with nil, removes) the histogram
+// observing per-grain fused-aggregation durations.
+func SetGrainHistogram(h *metrics.Histogram) { grainHist.Store(h) }
+
 // parallelDst partitions [0, n) destination rows across workers. With
 // edge-balanced splitting the CSR pointer array acts as a prefix-sum of
 // per-row work so chunk boundaries equalise edges, not rows; itemCost is the
 // per-edge cost in float ops (the feature width).
 func parallelDst(n int, ptr []int64, itemCost int, body func(start, end int)) {
+	if h := grainHist.Load(); h != nil {
+		inner := body
+		body = func(s, e int) {
+			t0 := time.Now()
+			inner(s, e)
+			h.ObserveSince(t0)
+		}
+	}
 	if EdgeBalancedSplit() {
 		tensor.ParallelForWeighted(n, ptr, itemCost, body)
 		return

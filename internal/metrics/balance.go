@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BalanceReport is a per-epoch, per-rank workload-balance table — the
+// paper's Fig. 14 comparison made continuous: each worker ships its
+// per-stage stage seconds inside the gradient-sync fence, and rank 0
+// aggregates them into max/mean skew and coefficient of variation per
+// stage, so load imbalance is quantified every epoch instead of guessed
+// from a timeout.
+type BalanceReport struct {
+	// Epoch is the (0-based) epoch the report covers.
+	Epoch int
+	// Seconds[s][r] is rank r's time in stage s during this epoch.
+	Seconds [StageCount][]float64
+}
+
+// NewBalanceReport returns an empty report for a cluster of k ranks.
+func NewBalanceReport(epoch, k int) *BalanceReport {
+	r := &BalanceReport{Epoch: epoch}
+	for s := range r.Seconds {
+		r.Seconds[s] = make([]float64, k)
+	}
+	return r
+}
+
+// Ranks returns the cluster size the report covers.
+func (r *BalanceReport) Ranks() int { return len(r.Seconds[0]) }
+
+// Set records rank's seconds in stage s.
+func (r *BalanceReport) Set(s Stage, rank int, secs float64) {
+	r.Seconds[s][rank] = secs
+}
+
+// Skew returns the stage's balance statistics: the slowest rank's time, the
+// mean across ranks, the max/mean ratio (1.0 = perfectly balanced) and the
+// coefficient of variation (stddev/mean). A stage nobody spent time in
+// returns zeros with ratio 1.
+func (r *BalanceReport) Skew(s Stage) (maxSec, meanSec, ratio, cv float64) {
+	vals := r.Seconds[s]
+	for _, v := range vals {
+		meanSec += v
+		if v > maxSec {
+			maxSec = v
+		}
+	}
+	meanSec /= float64(len(vals))
+	if meanSec == 0 {
+		return 0, 0, 1, 0
+	}
+	var variance float64
+	for _, v := range vals {
+		d := v - meanSec
+		variance += d * d
+	}
+	variance /= float64(len(vals))
+	return maxSec, meanSec, maxSec / meanSec, math.Sqrt(variance) / meanSec
+}
+
+// String formats the report as a table: one row per stage with per-rank
+// seconds, max/mean skew and CV, plus an epoch-total row.
+func (r *BalanceReport) String() string {
+	k := r.Ranks()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "epoch %d per-rank stage seconds (k=%d)\n", r.Epoch, k)
+	fmt.Fprintf(&sb, "%-14s", "stage")
+	for q := 0; q < k; q++ {
+		fmt.Fprintf(&sb, " %9s", fmt.Sprintf("r%d", q))
+	}
+	fmt.Fprintf(&sb, " %9s %7s\n", "max/mean", "cv")
+	totals := make([]float64, k)
+	for s := Stage(0); s < Stage(StageCount); s++ {
+		_, mean, ratio, cv := r.Skew(s)
+		if mean == 0 {
+			continue // stage unused by this model
+		}
+		fmt.Fprintf(&sb, "%-14s", s)
+		for q := 0; q < k; q++ {
+			fmt.Fprintf(&sb, " %9.4f", r.Seconds[s][q])
+			totals[q] += r.Seconds[s][q]
+		}
+		fmt.Fprintf(&sb, " %9.2f %7.2f\n", ratio, cv)
+	}
+	fmt.Fprintf(&sb, "%-14s", "total")
+	var maxT, meanT float64
+	for q := 0; q < k; q++ {
+		fmt.Fprintf(&sb, " %9.4f", totals[q])
+		meanT += totals[q]
+		if totals[q] > maxT {
+			maxT = totals[q]
+		}
+	}
+	meanT /= float64(k)
+	ratio := 1.0
+	if meanT > 0 {
+		ratio = maxT / meanT
+	}
+	fmt.Fprintf(&sb, " %9.2f\n", ratio)
+	return sb.String()
+}

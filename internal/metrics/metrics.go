@@ -27,6 +27,10 @@ const (
 	numStages
 )
 
+// StageCount is the number of stages a Breakdown tracks — the row count of
+// per-stage tables (straggler reports, gradient-fence payload slots).
+const StageCount = int(numStages)
+
 // String returns the stage name as printed in Table 4.
 func (s Stage) String() string {
 	switch s {
@@ -141,11 +145,22 @@ func (b *Breakdown) Add(s Stage, d time.Duration) {
 	b.mu.Unlock()
 }
 
-// Time runs fn and accumulates its duration into stage s.
+// Time runs fn and accumulates its duration into stage s. The recording is
+// deferred so a stage that panics (e.g. a collective failure recovered by
+// the cluster's runEpoch) still contributes its elapsed time to the
+// breakdown instead of silently vanishing from Table 4.
 func (b *Breakdown) Time(s Stage, fn func()) {
 	start := time.Now()
+	defer func() { b.Add(s, time.Since(start)) }()
 	fn()
-	b.Add(s, time.Since(start))
+}
+
+// StageTimes returns a snapshot of all stage durations, indexed by Stage
+// (length StageCount) — the per-epoch delta source for straggler reports.
+func (b *Breakdown) StageTimes() [StageCount]time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.times
 }
 
 // Get returns the accumulated duration of stage s.

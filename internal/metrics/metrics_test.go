@@ -133,3 +133,97 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("concurrent accumulation wrong: %v %d", b.Get(StageSync), b.MessagesSent.Load())
 	}
 }
+
+func TestTimeRecordsOnPanic(t *testing.T) {
+	// A stage that panics (the cluster's runEpoch recovers collective
+	// failures that panic out of aggregation hooks) must still contribute
+	// its elapsed time to the breakdown.
+	var b Breakdown
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected the panic to propagate")
+			}
+		}()
+		b.Time(StageAggregation, func() {
+			time.Sleep(2 * time.Millisecond)
+			panic("collective failure")
+		})
+	}()
+	if b.Get(StageAggregation) < time.Millisecond {
+		t.Fatalf("panicked stage recorded %v", b.Get(StageAggregation))
+	}
+}
+
+func TestStageTimesSnapshot(t *testing.T) {
+	var b Breakdown
+	b.Add(StageUpdate, 3*time.Second)
+	b.Add(StageSync, time.Second)
+	times := b.StageTimes()
+	if len(times) != StageCount {
+		t.Fatalf("StageTimes length %d, want %d", len(times), StageCount)
+	}
+	if times[StageUpdate] != 3*time.Second || times[StageSync] != time.Second {
+		t.Fatalf("snapshot wrong: %v", times)
+	}
+	// The snapshot is a copy: later mutation must not alter it.
+	b.Add(StageUpdate, time.Second)
+	if times[StageUpdate] != 3*time.Second {
+		t.Fatal("snapshot aliases live state")
+	}
+}
+
+func TestConcurrentPerClassCounters(t *testing.T) {
+	// CountSent/CountRecv per message class racing Merge and Reset must be
+	// free of data races (run under -race via the Makefile race target) and
+	// must conserve bytes when the races are quiesced.
+	var b, sink Breakdown
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sink.Merge(&b)
+				sink.Reset()
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			class := MsgClass(g % int(NumMsgClasses))
+			for i := 0; i < 500; i++ {
+				b.CountSent(class, 10)
+				b.CountRecv(class, 20)
+			}
+		}(g)
+	}
+	// Only the counting goroutines must finish before the final tally.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Wait for counters: 4 goroutines x 500 sends.
+	for b.MessagesSent.Load() < 2000 {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+	if b.BytesSent.Load() != 2000*10 || b.BytesRecv.Load() != 2000*20 {
+		t.Fatalf("aggregate bytes wrong: sent=%d recv=%d", b.BytesSent.Load(), b.BytesRecv.Load())
+	}
+	var perClassSent int64
+	for c := MsgClass(0); c < NumMsgClasses; c++ {
+		perClassSent += b.SentBytes(c)
+	}
+	if perClassSent != 2000*10 {
+		t.Fatalf("per-class sent bytes %d, want %d", perClassSent, 2000*10)
+	}
+}

@@ -1,0 +1,389 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a process-wide store of named counters, gauges and
+// histograms. Metrics are created on first access and live for the
+// registry's lifetime; all operations are safe for concurrent use.
+//
+// Like trace.Tracer, the registry has a nil fast path end to end: accessor
+// methods on a nil *Registry return nil metrics, and every metric method is
+// a no-op on a nil receiver — so instrumented hot paths cost a pointer test
+// when observability is off.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed (nil on a nil
+// registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed (nil on a nil
+// registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed (nil on a
+// nil registry).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing int64. The zero value is ready to
+// use; a nil *Counter ignores all updates.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 on nil).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+// Gauge is a float64 that can go up and down (current loss, epoch seconds).
+// The zero value is ready to use; a nil *Gauge ignores all updates.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Load returns the current value (0 on nil).
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// histBuckets is the number of log buckets: bucket 0 holds values <= 0 and
+// bucket i (1..64) holds values v with bits.Len64(v) == i, i.e. the range
+// [2^(i-1), 2^i - 1]. Powers of two give ~2x resolution over the full int64
+// range with a branch-free index — the classic log-bucket latency histogram.
+const histBuckets = 65
+
+// Histogram accumulates int64 observations (latencies in nanoseconds by
+// convention) into log-spaced buckets. All methods are lock-free; the zero
+// value is ready to use and a nil *Histogram ignores all updates.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf returns the bucket index for v.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketBounds returns the closed value range [lo, hi] covered by bucket i.
+// Bucket 0 is the <= 0 underflow bucket.
+func BucketBounds(i int) (lo, hi int64) {
+	if i <= 0 {
+		return math.MinInt64, 0
+	}
+	lo = int64(1) << (i - 1)
+	if i == 64 {
+		return lo, math.MaxInt64
+	}
+	return lo, int64(1)<<i - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// ObserveSince records the nanoseconds elapsed since t0 — the idiom for
+// latency sites: defer-free, one time.Now at the start and one here.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the average observed value (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the target log bucket. The estimate is exact to within the bucket's
+// 2x resolution; with no observations it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := 0; i < histBuckets; i++ {
+		n := float64(h.buckets[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			if i == 0 {
+				return 0
+			}
+			lo, hi := BucketBounds(i)
+			frac := (target - cum) / n
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += n
+	}
+	// Racing observations moved the total; fall back to the top bucket.
+	for i := histBuckets - 1; i > 0; i-- {
+		if h.buckets[i].Load() > 0 {
+			_, hi := BucketBounds(i)
+			return float64(hi)
+		}
+	}
+	return 0
+}
+
+// bucketCount returns the observation count of bucket i (tests).
+func (h *Histogram) bucketCount(i int) int64 {
+	if h == nil || i < 0 || i >= histBuckets {
+		return 0
+	}
+	return h.buckets[i].Load()
+}
+
+// ---------------------------------------------------------------------------
+// Export
+
+// histSnapshot is the JSON shape of one histogram.
+type histSnapshot struct {
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Mean   float64 `json:"mean"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+	MaxEst float64 `json:"max_est"`
+}
+
+func (h *Histogram) snapshot() histSnapshot {
+	s := histSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.5),
+		P90:   h.Quantile(0.9),
+		P99:   h.Quantile(0.99),
+	}
+	for i := histBuckets - 1; i > 0; i-- {
+		if h.bucketCount(i) > 0 {
+			_, hi := BucketBounds(i)
+			s.MaxEst = float64(hi)
+			break
+		}
+	}
+	return s
+}
+
+// registrySnapshot is the JSON shape of a whole registry.
+type registrySnapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]histSnapshot `json:"histograms"`
+}
+
+func (r *Registry) snapshot() registrySnapshot {
+	s := registrySnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]histSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Load()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Load()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the registry as one JSON object (the /metrics?format=json
+// and expvar payload).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(r.snapshot())
+}
+
+// WriteText writes the registry in a sorted, line-oriented text form — the
+// default /metrics payload, greppable and diffable.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.snapshot()
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "counter %-44s %d\n", k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "gauge   %-44s %g\n", k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "hist    %-44s count=%d mean=%.0f p50=%.0f p90=%.0f p99=%.0f max~%.0f\n",
+			k, h.Count, h.Mean, h.P50, h.P90, h.P99, h.MaxEst); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Add(3)
+	c.Inc()
+	if c.Load() != 4 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("same name must return same counter")
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(1.5)
+	if g.Load() != 1.5 {
+		t.Fatalf("gauge = %v", g.Load())
+	}
+	g.Set(-2)
+	if g.Load() != -2 {
+		t.Fatalf("gauge = %v", g.Load())
+	}
+}
+
+func TestNilRegistryAndMetrics(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	// All no-ops, no panics.
+	c.Add(1)
+	c.Inc()
+	g.Set(3)
+	h.Observe(5)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Log buckets: bucket i covers [2^(i-1), 2^i - 1]; bucket 0 holds <= 0.
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4},
+		{1023, 10}, {1024, 11}, {2047, 11}, {2048, 12},
+		{1 << 62, 63},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.v)
+		if got := h.bucketCount(c.bucket); got != 1 {
+			t.Fatalf("Observe(%d): bucket %d count = %d, want 1", c.v, c.bucket, got)
+		}
+		lo, hi := BucketBounds(c.bucket)
+		if c.bucket > 0 && (c.v < lo || c.v > hi) {
+			t.Fatalf("value %d outside its bucket bounds [%d, %d]", c.v, lo, hi)
+		}
+	}
+	if lo, hi := BucketBounds(11); lo != 1024 || hi != 2047 {
+		t.Fatalf("BucketBounds(11) = [%d, %d]", lo, hi)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations of 100 (bucket [64,127]), 10 of 10000 (bucket
+	// [8192,16383]): p50 must land in the low bucket, p99 in the high one.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10000)
+	}
+	if h.Count() != 110 || h.Sum() != 100*100+10*10000 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 64 || p50 > 127 {
+		t.Fatalf("p50 = %v, want within [64, 127]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 8192 || p99 > 16383 {
+		t.Fatalf("p99 = %v, want within [8192, 16383]", p99)
+	}
+	if q0 := h.Quantile(0); q0 < 64 || q0 > 127 {
+		t.Fatalf("q0 = %v", q0)
+	}
+	if q1 := h.Quantile(1); q1 < 8192 || q1 > 16383 {
+		t.Fatalf("q1 = %v", q1)
+	}
+	// Clamping out-of-range q.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("quantile clamping broken")
+	}
+	if mean := h.Mean(); mean < 900 || mean > 1000 {
+		t.Fatalf("mean = %v, want ~%v", mean, float64(h.Sum())/110)
+	}
+}
+
+func TestHistogramEmptyAndZeroBucket(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must read zero")
+	}
+	h.Observe(0)
+	h.Observe(-3)
+	if h.Quantile(0.99) != 0 {
+		t.Fatalf("all-underflow histogram p99 = %v", h.Quantile(0.99))
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const G, N = 8, 1000
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				h.Observe(int64(i + 1))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != G*N {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != G*N*(N+1)/2 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+}
+
+func TestRegistryOutputs(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rpc.dial_retries.rank0").Add(2)
+	r.Gauge("cluster.epoch_loss").Set(0.75)
+	h := r.Histogram("collective.fence_wait_ns.rank0")
+	h.Observe(1000)
+	h.Observe(3000)
+
+	var txt bytes.Buffer
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"counter", "rpc.dial_retries.rank0", "gauge", "cluster.epoch_loss", "hist", "fence_wait"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Fatalf("text output missing %q:\n%s", want, txt.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters   map[string]int64   `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count int64   `json:"count"`
+			Sum   int64   `json:"sum"`
+			P50   float64 `json:"p50"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["rpc.dial_retries.rank0"] != 2 {
+		t.Fatalf("json counters = %v", snap.Counters)
+	}
+	if snap.Gauges["cluster.epoch_loss"] != 0.75 {
+		t.Fatalf("json gauges = %v", snap.Gauges)
+	}
+	hs := snap.Histograms["collective.fence_wait_ns.rank0"]
+	if hs.Count != 2 || hs.Sum != 4000 {
+		t.Fatalf("json histogram = %+v", hs)
+	}
+}
+
+func TestBalanceReport(t *testing.T) {
+	r := NewBalanceReport(3, 4)
+	if r.Ranks() != 4 {
+		t.Fatalf("ranks = %d", r.Ranks())
+	}
+	// Aggregation: one straggler at 4s against three at 2s.
+	r.Set(StageAggregation, 0, 2)
+	r.Set(StageAggregation, 1, 2)
+	r.Set(StageAggregation, 2, 4)
+	r.Set(StageAggregation, 3, 2)
+	maxSec, meanSec, ratio, cv := r.Skew(StageAggregation)
+	if maxSec != 4 || meanSec != 2.5 {
+		t.Fatalf("max=%v mean=%v", maxSec, meanSec)
+	}
+	if ratio != 1.6 {
+		t.Fatalf("max/mean = %v, want 1.6", ratio)
+	}
+	if cv < 0.34 || cv > 0.35 { // stddev = sqrt(0.75) ≈ 0.866; cv ≈ 0.3464
+		t.Fatalf("cv = %v, want ~0.346", cv)
+	}
+	// A perfectly balanced stage reports ratio 1, cv 0.
+	for q := 0; q < 4; q++ {
+		r.Set(StageUpdate, q, 1)
+	}
+	if _, _, ratio, cv := r.Skew(StageUpdate); ratio != 1 || cv != 0 {
+		t.Fatalf("balanced stage: ratio=%v cv=%v", ratio, cv)
+	}
+	// An untouched stage reports ratio 1 (not NaN).
+	if _, _, ratio, _ := r.Skew(StageBackward); ratio != 1 {
+		t.Fatalf("empty stage ratio = %v", ratio)
+	}
+	out := r.String()
+	for _, want := range []string{"epoch 3", "k=4", "Aggregation", "1.60", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Backward") {
+		t.Fatalf("unused stage printed:\n%s", out)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // Model is a stack of NAU layers plus the model's HDG cache policy. All
@@ -50,6 +51,9 @@ type Trainer struct {
 
 	// Breakdown accumulates stage timings across epochs.
 	Breakdown *metrics.Breakdown
+	// Tracer records NAU stage spans (select/aggregate/update/backward)
+	// with rank 0; nil leaves tracing off at ~1 ns per site.
+	Tracer *trace.Tracer
 
 	cachedHDG *hdg.HDG
 	hdgUsed   bool // one training epoch has consumed cachedHDG
@@ -87,6 +91,7 @@ func (t *Trainer) ensureHDG() error {
 	}
 	var h *hdg.HDG
 	var err error
+	defer t.Tracer.Begin(0, int32(t.epoch), 0, trace.CatStage, "select").End()
 	t.Breakdown.Time(metrics.StageNeighborSelection, func() {
 		layer := t.Model.Layers[0]
 		h, err = NeighborSelection(t.Graph, layer.Schema(), layer.NeighborUDF(), AllVertices(t.Graph), t.RNG)
@@ -127,15 +132,19 @@ func (t *Trainer) Forward(train bool) (*nn.Value, error) {
 	}
 	ctx := t.context(train)
 	feats := nn.Constant(t.Feats)
-	for _, layer := range t.Model.Layers {
+	for li, layer := range t.Model.Layers {
 		var nbr *nn.Value
+		aspan := t.Tracer.Begin(0, int32(t.epoch), int32(li), trace.CatStage, "aggregate")
 		t.Breakdown.Time(metrics.StageAggregation, func() {
 			nbr = layer.Aggregation(ctx, feats)
 		})
+		aspan.End()
 		var out *nn.Value
+		uspan := t.Tracer.Begin(0, int32(t.epoch), int32(li), trace.CatStage, "update")
 		t.Breakdown.Time(metrics.StageUpdate, func() {
 			out = layer.Update(ctx, feats, nbr)
 		})
+		uspan.End()
 		feats = out
 	}
 	return feats, nil
@@ -167,6 +176,8 @@ func (t *Trainer) Epoch() (float32, error) {
 	}
 	t.hdgUsed = true
 	loss := nn.CrossEntropy(logits, t.Labels, t.Mask)
+	bspan := t.Tracer.Begin(0, int32(t.epoch), 0, trace.CatStage, "backward")
+	defer bspan.End()
 	t.Breakdown.Time(metrics.StageBackward, func() {
 		t.Opt.ZeroGrad()
 		loss.Backward()

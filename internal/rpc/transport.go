@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Transport moves encoded messages between the workers of one cluster.
@@ -35,6 +37,30 @@ type Transport interface {
 // message. It is a transient condition, not a transport failure: the caller
 // may keep receiving.
 var ErrRecvTimeout = errors.New("rpc: receive timed out")
+
+// MetricsSetter is implemented by transports that can record send latency
+// and connection-health counters into a metrics registry. Both built-in
+// transports implement it; instrumentation is off until SetMetrics is
+// called, at which point each site costs one histogram observation.
+type MetricsSetter interface {
+	SetMetrics(*metrics.Registry)
+}
+
+// transportMetrics holds a transport's registered instruments. The zero
+// value (all nil) is fully disabled — the metric types are nil-safe.
+type transportMetrics struct {
+	sendNS      *metrics.Histogram
+	sendBytes   *metrics.Counter
+	dialRetries *metrics.Counter
+}
+
+func newTransportMetrics(r *metrics.Registry, rank int) transportMetrics {
+	return transportMetrics{
+		sendNS:      r.Histogram(fmt.Sprintf("rpc.send_ns.rank%d", rank)),
+		sendBytes:   r.Counter(fmt.Sprintf("rpc.sent_bytes.rank%d", rank)),
+		dialRetries: r.Counter(fmt.Sprintf("rpc.dial_retries.rank%d", rank)),
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Loopback: in-process transport over channels.
@@ -71,14 +97,24 @@ func (n *LoopbackNetwork) Close() {
 type loopback struct {
 	net  *LoopbackNetwork
 	rank int
+	m    transportMetrics
 }
 
 func (l *loopback) Rank() int { return l.rank }
 func (l *loopback) Size() int { return len(l.net.inboxes) }
 
+// SetMetrics enables send-latency and byte accounting on this endpoint.
+func (l *loopback) SetMetrics(r *metrics.Registry) {
+	l.m = newTransportMetrics(r, l.rank)
+}
+
 func (l *loopback) Send(to int, msg *Message) error {
 	if to < 0 || to >= len(l.net.inboxes) {
 		return fmt.Errorf("rpc: send to unknown worker %d", to)
+	}
+	var t0 time.Time
+	if l.m.sendNS != nil {
+		t0 = time.Now()
 	}
 	// Encode/decode round trip so loopback exercises the same codec as
 	// TCP and byte accounting is identical.
@@ -88,6 +124,12 @@ func (l *loopback) Send(to int, msg *Message) error {
 	PutFrame(frame)
 	if err != nil {
 		return err
+	}
+	if l.m.sendNS != nil {
+		defer func() {
+			l.m.sendNS.ObserveSince(t0)
+			l.m.sendBytes.Add(msg.NumBytes())
+		}()
 	}
 	select {
 	case l.net.inboxes[to] <- dup:
@@ -176,6 +218,8 @@ type TCPTransport struct {
 	eofs   int
 	eofMu  sync.Mutex
 	allEOF chan struct{}
+
+	m transportMetrics
 }
 
 const dialBackoffCap = 500 * time.Millisecond
@@ -204,6 +248,12 @@ func NewTCPTransport(rank int, addrs []string) (*TCPTransport, error) {
 	return t, nil
 }
 
+// SetMetrics enables send-latency, byte and dial-retry accounting. Call
+// before Connect so startup dial retries are counted.
+func (t *TCPTransport) SetMetrics(r *metrics.Registry) {
+	t.m = newTransportMetrics(r, t.rank)
+}
+
 // dialPeer dials addr with bounded exponential backoff, covering the mesh
 // startup race where a higher-rank peer has not bound its listener yet.
 func (t *TCPTransport) dialPeer(addr string) (net.Conn, error) {
@@ -219,6 +269,7 @@ func (t *TCPTransport) dialPeer(addr string) (net.Conn, error) {
 			return conn, nil
 		}
 		lastErr = err
+		t.m.dialRetries.Inc()
 		if a == attempts-1 {
 			break
 		}
@@ -363,6 +414,10 @@ func (t *TCPTransport) Send(to int, msg *Message) error {
 		return fmt.Errorf("rpc: no connection to worker %d", to)
 	}
 	// Length prefix and body share one pooled frame and one Write call.
+	var t0 time.Time
+	if t.m.sendNS != nil {
+		t0 = time.Now()
+	}
 	n := int(msg.NumBytes())
 	frame := GetFrame(4 + n)
 	binary.LittleEndian.PutUint32(frame, uint32(n))
@@ -371,6 +426,10 @@ func (t *TCPTransport) Send(to int, msg *Message) error {
 	_, err := conn.Write(frame)
 	t.wmu[to].Unlock()
 	PutFrame(frame)
+	if t.m.sendNS != nil {
+		t.m.sendNS.ObserveSince(t0)
+		t.m.sendBytes.Add(int64(n))
+	}
 	return err
 }
 

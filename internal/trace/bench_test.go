@@ -1,0 +1,36 @@
+package trace
+
+import "testing"
+
+// BenchmarkDisabledSpan measures the cost of a Begin/End pair on a nil
+// tracer — the price every instrumented hot-path call site pays when
+// tracing is off. The budget is single-digit nanoseconds.
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := tr.Begin(0, 0, 0, CatStage, "agg")
+		r.End()
+	}
+}
+
+// BenchmarkEnabledSpan measures a recorded Begin/End pair: two clock reads,
+// one atomic reservation, one slot store.
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := New(1 << 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := tr.Begin(0, 0, 0, CatStage, "agg")
+		r.End()
+	}
+}
+
+// BenchmarkRecord measures a pre-built span record (no clock reads).
+func BenchmarkRecord(b *testing.B) {
+	tr := New(1 << 12)
+	s := Span{Name: "agg", Cat: CatStage, Start: 1, Dur: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(s)
+	}
+}

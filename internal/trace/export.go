@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// WriteJSONL writes the retained spans as one JSON object per line — the
+// raw dump served at /trace and the simplest format to post-process.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, t.Spans())
+}
+
+// WriteJSONL writes spans as JSON Lines.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" = complete
+// event, "M" = metadata). Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace-event JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// catLane maps a span category to a stable per-rank timeline lane (tid) so
+// epoch, stage and fence spans render as separate rows in Perfetto.
+func catLane(cat string) int64 {
+	switch cat {
+	case CatEpoch:
+		return 0
+	case CatStage:
+		return 1
+	case CatFence:
+		return 2
+	case CatComm:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// laneName returns the thread_name shown for a lane.
+func laneName(tid int64) string {
+	switch tid {
+	case 0:
+		return "epoch"
+	case 1:
+		return "stages"
+	case 2:
+		return "fence waits"
+	case 3:
+		return "comm"
+	default:
+		return "other"
+	}
+}
+
+// WriteChromeTrace writes the retained spans as Chrome trace-event JSON.
+// Load the file at https://ui.perfetto.dev (or chrome://tracing): each rank
+// renders as one process with epoch / stage / fence lanes, so straggler
+// waits and stage overlap are visible on a shared time axis.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, t.Spans())
+}
+
+// WriteChromeTrace writes spans in Chrome trace-event JSON format.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	ranks := map[int64]bool{}
+	lanes := map[[2]int64]bool{} // (pid, tid) pairs in use
+	events := make([]chromeEvent, 0, len(spans)+8)
+	for _, s := range spans {
+		pid, tid := int64(s.Rank), catLane(s.Cat)
+		ranks[pid] = true
+		lanes[[2]int64{pid, tid}] = true
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.Dur) / 1e3,
+			Pid:  pid,
+			Tid:  tid,
+			Args: map[string]any{"epoch": s.Epoch, "phase": s.Phase},
+		})
+	}
+	// Metadata first: process names ("rank N") and lane names, in sorted
+	// order so the output is deterministic for a given span set.
+	meta := make([]chromeEvent, 0, len(ranks)+len(lanes))
+	rankList := make([]int64, 0, len(ranks))
+	for r := range ranks {
+		rankList = append(rankList, r)
+	}
+	sort.Slice(rankList, func(i, j int) bool { return rankList[i] < rankList[j] })
+	for _, r := range rankList {
+		meta = append(meta, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+	}
+	laneList := make([][2]int64, 0, len(lanes))
+	for l := range lanes {
+		laneList = append(laneList, l)
+	}
+	sort.Slice(laneList, func(i, j int) bool {
+		if laneList[i][0] != laneList[j][0] {
+			return laneList[i][0] < laneList[j][0]
+		}
+		return laneList[i][1] < laneList[j][1]
+	})
+	for _, l := range laneList {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: l[0], Tid: l[1],
+			Args: map[string]any{"name": laneName(l[1])},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: append(meta, events...), DisplayTimeUnit: "ns"})
+}
+
+// WriteChromeTraceFile writes the Chrome trace to path (the -trace-out
+// flag's exit hook).
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
