@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build test race chaos trace-smoke vet fmt bench bench-comm
+.PHONY: ci build test race chaos trace-smoke serve-smoke vet fmt bench bench-comm
 
-ci: vet fmt race chaos trace-smoke test
+ci: vet fmt race chaos trace-smoke serve-smoke test
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 race: chaos
 	$(GO) test -race ./internal/tensor/... ./internal/engine/... \
 		./internal/rpc/... ./internal/collective/... ./internal/cluster/... \
-		./internal/metrics/... ./internal/trace/...
+		./internal/metrics/... ./internal/trace/... ./internal/serve/...
 
 # Fault-injection chaos tests, uncached and under the race detector: crash a
 # worker mid-epoch, expire receive deadlines, inject drops/dups/delays, and
@@ -33,6 +33,12 @@ chaos:
 trace-smoke:
 	$(GO) test -count=1 -run 'TraceSmoke|BalanceReport' \
 		./internal/cluster/... ./internal/trace/... ./internal/metrics/...
+
+# Inference-serving end-to-end smoke: start the server on a real listener,
+# fire a concurrent HTTP query burst, and assert the replies are well-formed
+# JSON with cache hits and serve spans visible on the observability surface.
+serve-smoke:
+	$(GO) test -count=1 -run 'ServeSmoke' ./internal/serve/...
 
 vet:
 	$(GO) vet ./...

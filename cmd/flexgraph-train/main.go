@@ -94,9 +94,15 @@ func main() {
 		log.Fatalf("unknown strategy %q", *strategyName)
 	}
 
-	tr := nau.NewTrainer(model, d.Graph, d.Features, d.Labels, d.TrainMask, *seed)
-	tr.Engine = engine.New(strategy)
-	tr.Opt = nn.NewAdam(model.Parameters(), float32(*lr))
+	tr := nau.NewTrainerWith(model, nau.TrainerOptions{
+		Graph:        d.Graph,
+		Features:     d.Features,
+		Labels:       d.Labels,
+		TrainMask:    d.TrainMask,
+		Seed:         *seed,
+		Engine:       engine.New(strategy),
+		LearningRate: float32(*lr),
+	})
 
 	if *resume != "" {
 		if err := nn.LoadCheckpoint(*resume, model.Parameters()); err != nil {

@@ -1,0 +1,59 @@
+package flexgraph
+
+import (
+	"repro/internal/engine"
+	"repro/internal/tensor"
+)
+
+// KernelConfig gathers the kernel execution levers behind one struct, so a
+// caller configures the whole hot path in a single Apply instead of five
+// global setter calls (SetKernelParallelism, SetWorkerPool, SetBufferPooling,
+// SetBlockedMatMul, SetEdgeBalancedSplit — all retained as wrappers for
+// existing code). Start from DefaultKernelConfig, flip the fields under test,
+// and Apply:
+//
+//	cfg := flexgraph.DefaultKernelConfig()
+//	cfg.BlockedMatMul = false // ablate cache blocking
+//	cfg.Apply()
+//
+// The fields map 1:1 onto the global toggles, which remain process-wide: an
+// Apply affects every engine and trainer in the process.
+type KernelConfig struct {
+	// Parallelism caps the worker count of the tensor and engine kernels;
+	// <= 0 selects runtime.GOMAXPROCS(0).
+	Parallelism int
+	// WorkerPool runs parallel loops on the persistent worker pool instead
+	// of spawning goroutines per call.
+	WorkerPool bool
+	// BufferPooling recycles tensor buffers through free lists and
+	// step-scoped arenas instead of plain allocations.
+	BufferPooling bool
+	// BlockedMatMul enables k-dimension cache blocking in the dense matrix
+	// kernels.
+	BlockedMatMul bool
+	// EdgeBalancedSplit partitions fused-aggregation work by edge count
+	// rather than destination count.
+	EdgeBalancedSplit bool
+}
+
+// DefaultKernelConfig returns the process's current kernel configuration —
+// after init, all levers on with Parallelism = GOMAXPROCS.
+func DefaultKernelConfig() KernelConfig {
+	return KernelConfig{
+		Parallelism:       tensor.Parallelism(),
+		WorkerPool:        tensor.WorkerPoolEnabled(),
+		BufferPooling:     tensor.BufferPooling(),
+		BlockedMatMul:     tensor.BlockedMatMul(),
+		EdgeBalancedSplit: engine.EdgeBalancedSplit(),
+	}
+}
+
+// Apply installs the configuration process-wide. Safe to call at any time;
+// kernels pick up the new settings on their next invocation.
+func (c KernelConfig) Apply() {
+	tensor.SetParallelism(c.Parallelism)
+	tensor.SetWorkerPool(c.WorkerPool)
+	tensor.SetBufferPooling(c.BufferPooling)
+	tensor.SetBlockedMatMul(c.BlockedMatMul)
+	engine.SetEdgeBalancedSplit(c.EdgeBalancedSplit)
+}

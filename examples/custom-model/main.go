@@ -91,7 +91,13 @@ func main() {
 		Cache: flexgraph.CachePerEpoch, // walks change every epoch
 	}
 
-	tr := flexgraph.NewTrainer(model, d.Graph, d.Features, d.Labels, d.TrainMask, 9)
+	tr := flexgraph.NewTrainerWith(model, flexgraph.TrainerOptions{
+		Graph:     d.Graph,
+		Features:  d.Features,
+		Labels:    d.Labels,
+		TrainMask: d.TrainMask,
+		Seed:      9,
+	})
 	for epoch := 1; epoch <= 20; epoch++ {
 		loss, err := tr.Epoch()
 		if err != nil {

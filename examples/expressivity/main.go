@@ -38,7 +38,13 @@ func main() {
 	fmt.Printf("%-5s %-8s %-10s %-12s %-10s %s\n",
 		"cat", "model", "loss(1)", "loss(10)", "HDG", "neighbor structure")
 	for _, m := range models {
-		tr := flexgraph.NewTrainer(m.model, d.Graph, d.Features, d.Labels, d.TrainMask, 11)
+		tr := flexgraph.NewTrainerWith(m.model, flexgraph.TrainerOptions{
+			Graph:     d.Graph,
+			Features:  d.Features,
+			Labels:    d.Labels,
+			TrainMask: d.TrainMask,
+			Seed:      11,
+		})
 		var first, last float32
 		for epoch := 1; epoch <= 10; epoch++ {
 			loss, err := tr.Epoch()

@@ -27,7 +27,13 @@ func main() {
 	model := flexgraph.NewMAGNN(d.FeatureDim(), 32, d.NumClasses, d.Metapaths,
 		flexgraph.MAGNNConfig{MaxInstances: 10}, rng)
 
-	tr := flexgraph.NewTrainer(model, d.Graph, d.Features, d.Labels, d.TrainMask, 3)
+	tr := flexgraph.NewTrainerWith(model, flexgraph.TrainerOptions{
+		Graph:     d.Graph,
+		Features:  d.Features,
+		Labels:    d.Labels,
+		TrainMask: d.TrainMask,
+		Seed:      3,
+	})
 	for epoch := 1; epoch <= 20; epoch++ {
 		loss, err := tr.Epoch()
 		if err != nil {

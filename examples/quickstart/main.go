@@ -19,7 +19,13 @@ func main() {
 	rng := flexgraph.NewRNG(1)
 	model := flexgraph.NewGCN(d.FeatureDim(), 32, d.NumClasses, rng)
 
-	tr := flexgraph.NewTrainer(model, d.Graph, d.Features, d.Labels, d.TrainMask, 1)
+	tr := flexgraph.NewTrainerWith(model, flexgraph.TrainerOptions{
+		Graph:     d.Graph,
+		Features:  d.Features,
+		Labels:    d.Labels,
+		TrainMask: d.TrainMask,
+		Seed:      1,
+	})
 	for epoch := 1; epoch <= 30; epoch++ {
 		loss, err := tr.Epoch()
 		if err != nil {

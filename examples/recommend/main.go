@@ -26,7 +26,13 @@ func main() {
 	rng := flexgraph.NewRNG(7)
 	model := flexgraph.NewPinSage(d.FeatureDim(), 32, d.NumClasses, cfg, rng)
 
-	tr := flexgraph.NewTrainer(model, d.Graph, d.Features, d.Labels, d.TrainMask, 7)
+	tr := flexgraph.NewTrainerWith(model, flexgraph.TrainerOptions{
+		Graph:     d.Graph,
+		Features:  d.Features,
+		Labels:    d.Labels,
+		TrainMask: d.TrainMask,
+		Seed:      7,
+	})
 	for epoch := 1; epoch <= 40; epoch++ {
 		loss, err := tr.Epoch()
 		if err != nil {

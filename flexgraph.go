@@ -21,11 +21,17 @@
 //	d := flexgraph.RedditLike(flexgraph.DatasetConfig{Scale: 0.1})
 //	rng := flexgraph.NewRNG(1)
 //	model := flexgraph.NewGCN(d.FeatureDim(), 16, d.NumClasses, rng)
-//	tr := flexgraph.NewTrainer(model, d.Graph, d.Features, d.Labels, d.TrainMask, 1)
+//	tr := flexgraph.NewTrainerWith(model, flexgraph.TrainerOptions{
+//		Graph: d.Graph, Features: d.Features,
+//		Labels: d.Labels, TrainMask: d.TrainMask, Seed: 1,
+//	})
 //	for epoch := 0; epoch < 50; epoch++ {
 //		loss, err := tr.Epoch()
 //		...
 //	}
+//
+// A trained model can then be served online (micro-batched per-vertex
+// queries with an embedding cache — see NewInferenceServer).
 package flexgraph
 
 import (
@@ -239,7 +245,10 @@ var (
 
 // Training entry points.
 var (
-	// NewTrainer wires single-machine whole-graph training.
+	// NewTrainer wires single-machine whole-graph training from six
+	// positional arguments.
+	//
+	// Deprecated: use NewTrainerWith with TrainerOptions.
 	NewTrainer = nau.NewTrainer
 	// NewEngine builds an execution engine with the given strategy.
 	NewEngine = engine.New

@@ -1,6 +1,8 @@
 package flexgraph
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"testing"
 )
@@ -11,7 +13,13 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	d := RedditLike(DatasetConfig{Scale: 0.03, Seed: 1})
 	rng := NewRNG(1)
 	model := NewGCN(d.FeatureDim(), 16, d.NumClasses, rng)
-	tr := NewTrainer(model, d.Graph, d.Features, d.Labels, d.TrainMask, 1)
+	tr := NewTrainerWith(model, TrainerOptions{
+		Graph:     d.Graph,
+		Features:  d.Features,
+		Labels:    d.Labels,
+		TrainMask: d.TrainMask,
+		Seed:      1,
+	})
 	var first, last float32
 	for epoch := 0; epoch < 12; epoch++ {
 		loss, err := tr.Epoch()
@@ -92,6 +100,82 @@ func TestPublicAPICheckpointAndDatasetIO(t *testing.T) {
 	}
 	if err := LoadCheckpoint(ckPath, model.Parameters()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPublicAPIServing exercises the inference-serving surface end to end
+// through the root package: train briefly, serve, and check parity with
+// Predict plus context cancellation on both paths.
+func TestPublicAPIServing(t *testing.T) {
+	d := RedditLike(DatasetConfig{Scale: 0.03, Seed: 8})
+	model := NewGCN(d.FeatureDim(), 8, d.NumClasses, NewRNG(8))
+	tr := NewTrainerWith(model, TrainerOptions{
+		Graph: d.Graph, Features: d.Features, Labels: d.Labels,
+		TrainMask: d.TrainMask, Seed: 8,
+	})
+	for epoch := 0; epoch < 3; epoch++ {
+		if _, err := tr.Epoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv, err := NewInferenceServer(ServeOptions{
+		Model: model, Graph: d.Graph, Features: d.Features,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reply, err := srv.Query(context.Background(), []VertexID{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := tr.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reply.Results {
+		for j, x := range r.Logits {
+			if want := whole.At(int(r.Vertex), j); x != want {
+				t.Fatalf("vertex %d logit %d: served %v != Predict %v", r.Vertex, j, x, want)
+			}
+		}
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.Query(cancelled, []VertexID{0}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Query with cancelled ctx: %v", err)
+	}
+	if _, err := tr.PredictContext(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PredictContext with cancelled ctx: %v", err)
+	}
+}
+
+// TestPublicAPIKernelConfig checks the consolidated kernel-lever struct
+// round-trips through the retained global setters.
+func TestPublicAPIKernelConfig(t *testing.T) {
+	orig := DefaultKernelConfig()
+	defer orig.Apply()
+
+	cfg := orig
+	cfg.Parallelism = 2
+	cfg.WorkerPool = false
+	cfg.BlockedMatMul = false
+	cfg.Apply()
+	got := DefaultKernelConfig()
+	if got.Parallelism != 2 || got.WorkerPool || got.BlockedMatMul {
+		t.Fatalf("Apply did not take: %+v", got)
+	}
+	if !got.BufferPooling || !got.EdgeBalancedSplit {
+		t.Fatalf("Apply clobbered untouched levers: %+v", got)
+	}
+
+	// The legacy per-lever setters still work and are visible in the struct.
+	SetWorkerPool(true)
+	if !DefaultKernelConfig().WorkerPool {
+		t.Fatal("legacy setter invisible to DefaultKernelConfig")
 	}
 }
 

@@ -128,6 +128,33 @@ func FromGraphInEdges(g *graph.Graph) *Adjacency {
 	return &Adjacency{NumDst: n, NumSrc: n, DstPtr: ptr, SrcIdx: idx}
 }
 
+// FromGraphInEdgesSubset builds the 1-hop in-edge level for a subset of
+// destination vertices over a remapped source universe: destination row d is
+// dsts[d], and each global in-neighbor is translated through srcIndex (a
+// dense remap of the vertices the batch actually touches). In-neighbor order
+// is preserved exactly, so per-destination reductions are bit-identical to
+// the whole-graph FromGraphInEdges level — the property the online inference
+// path relies on to match Trainer.Predict. Panics if an in-neighbor is
+// missing from srcIndex: the caller builds the universe from the same walk.
+func FromGraphInEdgesSubset(g *graph.Graph, dsts []graph.VertexID, srcIndex map[graph.VertexID]int32, numSrc int) *Adjacency {
+	ptr := make([]int64, len(dsts)+1)
+	for i, v := range dsts {
+		ptr[i+1] = ptr[i] + int64(g.InDegree(v))
+	}
+	idx := make([]int32, ptr[len(dsts)])
+	for i, v := range dsts {
+		row := idx[ptr[i]:ptr[i+1]]
+		for j, u := range g.InNeighbors(v) {
+			local, ok := srcIndex[u]
+			if !ok {
+				panic(fmt.Sprintf("engine: FromGraphInEdgesSubset: in-neighbor %d of %d not in source universe", u, v))
+			}
+			row[j] = local
+		}
+	}
+	return &Adjacency{NumDst: len(dsts), NumSrc: numSrc, DstPtr: ptr, SrcIdx: idx}
+}
+
 // FromHDGBottom builds the bottom level of a hierarchical HDG: leaf
 // vertices -> neighbor instances. numFeatureRows is the size of the feature
 // universe leaf IDs index into (the graph's vertex count, or a local remap

@@ -248,6 +248,51 @@ func (h *HDG) LeafVertexSet() []graph.VertexID {
 	return out
 }
 
+// Hierarchicalize converts a flat HDG to the explicit hierarchical
+// representation (LeafOffset materialised as the identity ranges). Build
+// infers flatness from the records it sees, which is right for whole-graph
+// training but wrong for a small serving batch of a hierarchical model
+// whose sampled instances all happen to be single vertices: the aggregation
+// driver dispatches on IsFlat, and the model's level-UDF count must keep
+// matching. No-op on an already hierarchical HDG.
+func (h *HDG) Hierarchicalize() {
+	if !h.flat {
+		return
+	}
+	h.LeafOffset = make([]int32, len(h.LeafIDs)+1)
+	for i := range h.LeafIDs {
+		h.LeafOffset[i+1] = int32(i + 1)
+	}
+	h.flat = false
+}
+
+// RemapLeaves returns a shallow copy of h whose leaf IDs are rewritten
+// through f. The instance structure (InstOffset, LeafOffset, Roots, schema)
+// is shared with h; only LeafIDs is re-materialised, preserving order so
+// aggregation results stay bit-identical under the remap. The online
+// inference path uses this to re-index a query batch's sub-HDG leaves into
+// the batch's compact feature universe. f returning ok=false aborts with an
+// error naming the unmapped vertex.
+func (h *HDG) RemapLeaves(f func(graph.VertexID) (graph.VertexID, bool)) (*HDG, error) {
+	out := &HDG{
+		Schema:     h.Schema,
+		Roots:      h.Roots,
+		rootRank:   h.rootRank,
+		flat:       h.flat,
+		InstOffset: h.InstOffset,
+		LeafOffset: h.LeafOffset,
+		LeafIDs:    make([]graph.VertexID, len(h.LeafIDs)),
+	}
+	for i, v := range h.LeafIDs {
+		m, ok := f(v)
+		if !ok {
+			return nil, fmt.Errorf("hdg: RemapLeaves: no mapping for leaf vertex %d", v)
+		}
+		out.LeafIDs[i] = m
+	}
+	return out, nil
+}
+
 // NumBytes returns the memory footprint of the compact storage (Table 5's
 // numerator): InstOffset + LeafOffset + LeafIDs + Roots, plus the single
 // shared schema tree.

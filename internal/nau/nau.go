@@ -152,10 +152,24 @@ func NeighborSelection(g *graph.Graph, schema *hdg.SchemaTree, udf NeighborUDF, 
 	for i := range seeds {
 		seeds[i] = rng.Uint64()
 	}
+	return NeighborSelectionSeeded(g, schema, udf, roots, func(i int, _ graph.VertexID) uint64 {
+		return seeds[i]
+	})
+}
+
+// NeighborSelectionSeeded is NeighborSelection with the per-root RNG seed
+// chosen by the caller instead of split from a shared stream. The online
+// inference path seeds each root from its vertex ID, so a vertex's records —
+// and therefore its cached embeddings — do not depend on which micro-batch
+// it happened to arrive in. seedFor receives the root's position and ID.
+func NeighborSelectionSeeded(g *graph.Graph, schema *hdg.SchemaTree, udf NeighborUDF, roots []graph.VertexID, seedFor func(i int, v graph.VertexID) uint64) (*hdg.HDG, error) {
+	if schema == nil || udf == nil {
+		return nil, fmt.Errorf("nau: NeighborSelection requires a schema and a UDF")
+	}
 	perRoot := make([][]hdg.Record, len(roots))
 	tensor.ParallelFor(len(roots), func(s, e int) {
 		for i := s; i < e; i++ {
-			perRoot[i] = udf(g, schema, roots[i], tensor.NewRNG(seeds[i]))
+			perRoot[i] = udf(g, schema, roots[i], tensor.NewRNG(seedFor(i, roots[i])))
 		}
 	})
 	var records []hdg.Record

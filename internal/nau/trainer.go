@@ -1,6 +1,7 @@
 package nau
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
@@ -62,20 +63,81 @@ type Trainer struct {
 	arena     *tensor.Arena // step-scoped buffers for the engine's fused kernels
 }
 
-// NewTrainer wires up a trainer with an Adam optimizer and HA engine by
-// default.
-func NewTrainer(m *Model, g *graph.Graph, feats *tensor.Tensor, labels []int32, mask []bool, seed uint64) *Trainer {
+// TrainerOptions configures NewTrainerWith. Graph, Features and Labels are
+// required for training; every other field has a usable zero value, so
+// callers name only what they change instead of threading six positional
+// arguments.
+type TrainerOptions struct {
+	// Graph is the input graph (required).
+	Graph *graph.Graph
+	// Features is the [vertices, dim] input feature matrix (required).
+	Features *tensor.Tensor
+	// Labels holds one class per vertex (required for Epoch/Evaluate).
+	Labels []int32
+	// TrainMask selects the vertices contributing to the loss; nil trains
+	// on every vertex.
+	TrainMask []bool
+	// Seed seeds the trainer's deterministic RNG (neighbor selection,
+	// dropout). The zero seed is valid and deterministic like any other.
+	Seed uint64
+	// Engine overrides the execution engine; nil selects a fresh engine
+	// with the HA (full hybrid aggregation) strategy.
+	Engine *engine.Engine
+	// LearningRate overrides the default Adam learning rate of 0.01.
+	// Ignored when NewOptimizer is set.
+	LearningRate float32
+	// NewOptimizer, when non-nil, builds the optimizer from the model's
+	// parameters (e.g. nn.NewSGD); nil selects Adam.
+	NewOptimizer func(params []*nn.Value) nn.Optimizer
+	// Tracer records NAU stage spans; nil leaves tracing off.
+	Tracer *trace.Tracer
+}
+
+// NewTrainerWith wires up a trainer from options — the constructor new code
+// should use.
+func NewTrainerWith(m *Model, o TrainerOptions) *Trainer {
+	eng := o.Engine
+	if eng == nil {
+		eng = engine.New(engine.StrategyHA)
+	}
+	var opt nn.Optimizer
+	if o.NewOptimizer != nil {
+		opt = o.NewOptimizer(m.Parameters())
+	} else {
+		lr := o.LearningRate
+		if lr == 0 {
+			lr = 0.01
+		}
+		opt = nn.NewAdam(m.Parameters(), lr)
+	}
 	return &Trainer{
 		Model:     m,
-		Graph:     g,
-		Feats:     feats,
-		Labels:    labels,
-		Mask:      mask,
-		Engine:    engine.New(engine.StrategyHA),
-		Opt:       nn.NewAdam(m.Parameters(), 0.01),
-		RNG:       tensor.NewRNG(seed),
+		Graph:     o.Graph,
+		Feats:     o.Features,
+		Labels:    o.Labels,
+		Mask:      o.TrainMask,
+		Engine:    eng,
+		Opt:       opt,
+		RNG:       tensor.NewRNG(o.Seed),
 		Breakdown: &metrics.Breakdown{},
+		Tracer:    o.Tracer,
 	}
+}
+
+// NewTrainer wires up a trainer with an Adam optimizer and HA engine by
+// default.
+//
+// Deprecated: use NewTrainerWith, which names its arguments and exposes the
+// engine, optimizer and tracer without post-construction field pokes. This
+// wrapper remains for source compatibility.
+func NewTrainer(m *Model, g *graph.Graph, feats *tensor.Tensor, labels []int32, mask []bool, seed uint64) *Trainer {
+	return NewTrainerWith(m, TrainerOptions{
+		Graph:     g,
+		Features:  feats,
+		Labels:    labels,
+		TrainMask: mask,
+		Seed:      seed,
+	})
 }
 
 // ensureHDG runs NeighborSelection according to the model's cache policy.
@@ -127,12 +189,26 @@ func (t *Trainer) context(train bool) *Context {
 // Forward runs the model over the whole graph and returns the final-layer
 // logits, timing Aggregation and Update stages into the breakdown.
 func (t *Trainer) Forward(train bool) (*nn.Value, error) {
+	return t.ForwardContext(context.Background(), train)
+}
+
+// ForwardContext is Forward with cancellation: cancelling ctx aborts the
+// pass at the next layer boundary (individual kernels are not interrupted)
+// and returns ctx's error. The serving path uses this so an abandoned
+// request stops burning compute after at most one layer.
+func (t *Trainer) ForwardContext(cctx context.Context, train bool) (*nn.Value, error) {
+	if err := cctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := t.ensureHDG(); err != nil {
 		return nil, err
 	}
 	ctx := t.context(train)
 	feats := nn.Constant(t.Feats)
 	for li, layer := range t.Model.Layers {
+		if err := cctx.Err(); err != nil {
+			return nil, err
+		}
 		var nbr *nn.Value
 		aspan := t.Tracer.Begin(0, int32(t.epoch), int32(li), trace.CatStage, "aggregate")
 		t.Breakdown.Time(metrics.StageAggregation, func() {
@@ -189,7 +265,13 @@ func (t *Trainer) Epoch() (float32, error) {
 // Predict runs inference and returns the final-layer logits for every
 // vertex, for downstream tasks (vertex classification, link scoring, ...).
 func (t *Trainer) Predict() (*tensor.Tensor, error) {
-	logits, err := t.Forward(false)
+	return t.PredictContext(context.Background())
+}
+
+// PredictContext is Predict with cancellation: cancelling ctx aborts the
+// forward pass at the next layer boundary and returns ctx's error.
+func (t *Trainer) PredictContext(ctx context.Context) (*tensor.Tensor, error) {
+	logits, err := t.ForwardContext(ctx, false)
 	if err != nil {
 		return nil, err
 	}

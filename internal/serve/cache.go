@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// cacheKey identifies one cached activation row: the output of model layer
+// Layer for vertex Vertex.
+type cacheKey struct {
+	Layer  int32
+	Vertex graph.VertexID
+}
+
+// cacheEntry is one cached row plus the model version it was computed under.
+// Rows are immutable after insertion: Put stores a private copy and Get
+// returns that slice for reading only, so lookups never copy.
+type cacheEntry struct {
+	key     cacheKey
+	version int64
+	row     []float32
+}
+
+// embedCache is the versioned per-layer embedding cache: vertex -> hidden
+// activation, bounded by a row-count capacity with LRU eviction. Entries are
+// tagged with the model version they were computed under; a Get whose stored
+// version differs from the requested one is a miss (the entry is dropped
+// lazily), so bumping the server's model version invalidates every cached
+// row at once without walking the map.
+type embedCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[cacheKey]*list.Element
+	lru     list.List // front = most recently used
+
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	evictions *metrics.Counter
+}
+
+// newEmbedCache returns a cache holding at most capacity rows. capacity <= 0
+// disables caching entirely (every Get misses, every Put is dropped).
+func newEmbedCache(capacity int, reg *metrics.Registry) *embedCache {
+	c := &embedCache{
+		cap:       capacity,
+		entries:   make(map[cacheKey]*list.Element),
+		hits:      reg.Counter("serve_cache_hits_total"),
+		misses:    reg.Counter("serve_cache_misses_total"),
+		evictions: reg.Counter("serve_cache_evictions_total"),
+	}
+	c.lru.Init()
+	return c
+}
+
+// Get returns the cached activation row for (layer, v) computed under
+// version, or nil on a miss. A version mismatch both misses and drops the
+// stale entry, so a model-version bump reclaims capacity as traffic touches
+// the old rows.
+func (c *embedCache) Get(layer int32, v graph.VertexID, version int64) []float32 {
+	if c.cap <= 0 {
+		c.misses.Inc()
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[cacheKey{layer, v}]
+	if !ok {
+		c.misses.Inc()
+		return nil
+	}
+	e := el.Value.(*cacheEntry)
+	if e.version != version {
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.misses.Inc()
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Inc()
+	return e.row
+}
+
+// Put stores a copy of row for (layer, v) under version, evicting the least
+// recently used rows to stay within capacity.
+func (c *embedCache) Put(layer int32, v graph.VertexID, version int64, row []float32) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{layer, v}
+	if el, ok := c.entries[key]; ok {
+		// Replace rather than overwrite in place: rows handed out by Get
+		// stay immutable even if the same key is re-inserted.
+		e := el.Value.(*cacheEntry)
+		e.version = version
+		e.row = append([]float32(nil), row...)
+		c.lru.MoveToFront(el)
+		return
+	}
+	e := &cacheEntry{key: key, version: version, row: append([]float32(nil), row...)}
+	c.entries[key] = c.lru.PushFront(e)
+	for len(c.entries) > c.cap {
+		back := c.lru.Back()
+		old := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, old.key)
+		c.evictions.Inc()
+	}
+}
+
+// Len returns the number of resident rows.
+func (c *embedCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

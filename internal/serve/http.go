@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+// predictRequest is the /v1/predict JSON body.
+type predictRequest struct {
+	Vertices []graph.VertexID `json:"vertices"`
+}
+
+// errorReply is the JSON body of every non-200 answer.
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's inference endpoints:
+//
+//	POST /v1/predict  {"vertices":[0,7,42]} -> Reply JSON
+//	GET  /v1/healthz  {"status":"ok","model_version":N,"cache_rows":M}
+//
+// The request context propagates into Query, so a dropped HTTP client
+// abandons its slot in the micro-batch.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorReply{Error: "POST required"})
+			return
+		}
+		var req predictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorReply{Error: fmt.Sprintf("bad request body: %v", err)})
+			return
+		}
+		reply, err := s.Query(r.Context(), req.Vertices)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrBadVertex):
+				writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
+			case errors.Is(err, ErrClosed):
+				writeJSON(w, http.StatusServiceUnavailable, errorReply{Error: err.Error()})
+			default:
+				writeJSON(w, http.StatusInternalServerError, errorReply{Error: err.Error()})
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, reply)
+	})
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":        "ok",
+			"model_version": s.ModelVersion(),
+			"cache_rows":    s.CacheLen(),
+		})
+	})
+	return mux
+}
+
+// Mux mounts the inference endpoints alongside the observability surface
+// (trace.DebugMux: /metrics, /trace, /trace/chrome, expvar, pprof) on one
+// ServeMux, so a single listener serves both queries and introspection.
+func (s *Server) Mux() *http.ServeMux {
+	mux := trace.DebugMux(s.tracer, s.reg)
+	mux.Handle("/v1/", s.Handler())
+	return mux
+}
+
+// ListenAndServe binds addr and serves Mux until shutdown is called. It
+// returns the bound address (useful with ":0") and a shutdown func that
+// closes the listener; the inference Server itself is left running — pair
+// with (*Server).Close.
+func (s *Server) ListenAndServe(addr string) (boundAddr string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Mux()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// writeJSON answers one request with a JSON body.
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(body)
+}

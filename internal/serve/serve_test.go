@@ -1,0 +1,545 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/nau"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// trainedGCN returns a briefly trained GCN with its trainer and dataset.
+func trainedGCN(t *testing.T, scale float64) (*nau.Trainer, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.RedditLike(dataset.Config{Scale: scale, Seed: 1})
+	model := models.NewGCN(d.FeatureDim(), 16, d.NumClasses, tensor.NewRNG(1))
+	tr := nau.NewTrainerWith(model, nau.TrainerOptions{
+		Graph: d.Graph, Features: d.Features, Labels: d.Labels,
+		TrainMask: d.TrainMask, Seed: 1,
+	})
+	for epoch := 0; epoch < 3; epoch++ {
+		if _, err := tr.Epoch(); err != nil {
+			t.Fatalf("epoch: %v", err)
+		}
+	}
+	return tr, d
+}
+
+// newServer stands up a server over tr's model with a fresh registry.
+func newServer(t *testing.T, tr *nau.Trainer, d *dataset.Dataset, opts Options) (*Server, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	opts.Model = tr.Model
+	opts.Graph = d.Graph
+	opts.Features = d.Features
+	opts.Engine = tr.Engine
+	opts.Metrics = reg
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s, reg
+}
+
+// assertBitIdentical checks every reply row against the whole-graph logits.
+func assertBitIdentical(t *testing.T, reply *Reply, whole *tensor.Tensor) {
+	t.Helper()
+	for _, r := range reply.Results {
+		if len(r.Logits) != whole.Cols() {
+			t.Fatalf("vertex %d: %d logits, want %d", r.Vertex, len(r.Logits), whole.Cols())
+		}
+		for j, x := range r.Logits {
+			if want := whole.At(int(r.Vertex), j); x != want {
+				t.Fatalf("vertex %d logit %d: served %v != Predict %v (not bit-identical)",
+					r.Vertex, j, x, want)
+			}
+		}
+	}
+}
+
+// TestServeBitIdenticalGCN proves the acceptance criterion for the DNFA
+// path: micro-batched serving — cold, fully cached, and mixed — answers
+// bit-identically to a whole-graph Trainer.Predict.
+func TestServeBitIdenticalGCN(t *testing.T) {
+	tr, d := trainedGCN(t, 0.05)
+	s, reg := newServer(t, tr, d, Options{})
+	whole, err := tr.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	verts := []graph.VertexID{0, 3, 9, 17, 42}
+	cold, err := s.Query(context.Background(), verts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, cold, whole)
+	if s.CacheLen() == 0 {
+		t.Fatal("cold query populated no cache rows")
+	}
+
+	// Warm: the top layer answers from cache.
+	hits0 := reg.Counter("serve_cache_hits_total").Load()
+	warm, err := s.Query(context.Background(), verts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, warm, whole)
+	if reg.Counter("serve_cache_hits_total").Load() <= hits0 {
+		t.Fatal("repeat query produced no cache hits")
+	}
+
+	// Mixed: some cached roots, some cold — exercises the hits/miss split.
+	mixed, err := s.Query(context.Background(), []graph.VertexID{3, 55, 17, 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, mixed, whole)
+}
+
+// TestServeBitIdenticalHierarchical proves the same for the INHA path
+// (MAGNN over the heterogeneous IMDB shape): deterministic metapath
+// neighborhoods through the 3-level HDG driver.
+func TestServeBitIdenticalHierarchical(t *testing.T) {
+	d := dataset.IMDBLike(dataset.Config{Scale: 0.05, Seed: 2})
+	model := models.NewMAGNN(d.FeatureDim(), 8, d.NumClasses, d.Metapaths,
+		models.MAGNNConfig{MaxInstances: 6}, tensor.NewRNG(2))
+	tr := nau.NewTrainerWith(model, nau.TrainerOptions{
+		Graph: d.Graph, Features: d.Features, Labels: d.Labels,
+		TrainMask: d.TrainMask, Seed: 2,
+	})
+	for epoch := 0; epoch < 2; epoch++ {
+		if _, err := tr.Epoch(); err != nil {
+			t.Fatalf("epoch: %v", err)
+		}
+	}
+	s, _ := newServer(t, tr, d, Options{})
+	whole, err := tr.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	verts := []graph.VertexID{0, 1, 5, 11, 23}
+	for round := 0; round < 2; round++ { // cold, then cache-assisted
+		reply, err := s.Query(context.Background(), verts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, reply, whole)
+	}
+}
+
+// TestServePinSageDeterministic: sampling models serve deterministically —
+// per-vertex seeds make a vertex's neighborhood independent of batch
+// composition and cache state.
+func TestServePinSageDeterministic(t *testing.T) {
+	d := dataset.RedditLike(dataset.Config{Scale: 0.05, Seed: 3})
+	model := models.NewPinSage(d.FeatureDim(), 8, d.NumClasses,
+		models.PinSageConfig{NumWalks: 3, Hops: 2, TopK: 3}, tensor.NewRNG(3))
+	tr := nau.NewTrainerWith(model, nau.TrainerOptions{
+		Graph: d.Graph, Features: d.Features, Labels: d.Labels,
+		TrainMask: d.TrainMask, Seed: 3,
+	})
+	if _, err := tr.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := newServer(t, tr, d, Options{Seed: 7})
+
+	first, err := s.Query(context.Background(), []graph.VertexID{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the cache so the second answer is recomputed from scratch, in a
+	// different batch composition.
+	s.InvalidateCache()
+	second, err := s.Query(context.Background(), []graph.VertexID{8, 2, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byV := map[graph.VertexID][]float32{}
+	for _, r := range second.Results {
+		byV[r.Vertex] = r.Logits
+	}
+	for _, r := range first.Results {
+		for j, x := range r.Logits {
+			if x != byV[r.Vertex][j] {
+				t.Fatalf("vertex %d logit %d changed across recomputation: %v != %v",
+					r.Vertex, j, x, byV[r.Vertex][j])
+			}
+		}
+	}
+}
+
+// TestServeCacheInvalidation: an UpdateModel bumps the version, and the next
+// query recomputes against the new weights rather than reusing stale rows.
+func TestServeCacheInvalidation(t *testing.T) {
+	tr, d := trainedGCN(t, 0.05)
+	s, reg := newServer(t, tr, d, Options{})
+	verts := []graph.VertexID{1, 2, 3, 4}
+
+	before, err := s.Query(context.Background(), verts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.ModelVersion(); v != 1 || before.ModelVersion != 1 {
+		t.Fatalf("fresh server at version %d / reply %d, want 1", v, before.ModelVersion)
+	}
+
+	// Train one more epoch under the server's exclusion lock.
+	if err := s.UpdateModel(func() error { _, err := tr.Epoch(); return err }); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.ModelVersion(); v != 2 {
+		t.Fatalf("version after UpdateModel = %d, want 2", v)
+	}
+
+	misses0 := reg.Counter("serve_cache_misses_total").Load()
+	after, err := s.Query(context.Background(), verts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.ModelVersion != 2 {
+		t.Fatalf("reply version %d, want 2", after.ModelVersion)
+	}
+	if reg.Counter("serve_cache_misses_total").Load() <= misses0 {
+		t.Fatal("post-update query hit stale cache rows")
+	}
+	whole, err := tr.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, after, whole)
+
+	// The answers must actually differ from the pre-update ones (the weights
+	// moved), otherwise this test proves nothing.
+	changed := false
+	for i, r := range after.Results {
+		for j, x := range r.Logits {
+			if x != before.Results[i].Logits[j] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("logits unchanged after a training epoch")
+	}
+}
+
+// TestServeConcurrentBatching hammers the server from many goroutines (run
+// under -race) and checks every reply is bit-identical to Predict while the
+// dispatcher actually coalesced requests into shared batches.
+func TestServeConcurrentBatching(t *testing.T) {
+	tr, d := trainedGCN(t, 0.05)
+	s, reg := newServer(t, tr, d, Options{
+		BatchSize:     8,
+		FlushInterval: 500 * time.Microsecond,
+	})
+	whole, err := tr.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := graph.VertexID(i % 32) // overlap guarantees shared work + cache traffic
+			reply, err := s.Query(context.Background(), []graph.VertexID{v})
+			if err != nil {
+				errs <- fmt.Errorf("query %d: %w", v, err)
+				return
+			}
+			for j, x := range reply.Results[0].Logits {
+				if want := whole.At(int(v), j); x != want {
+					errs <- fmt.Errorf("vertex %d logit %d: %v != %v", v, j, x, want)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	batches := reg.Counter("serve_batches_total").Load()
+	if batches == 0 || batches >= N {
+		t.Fatalf("%d requests ran as %d batches; micro-batching is not coalescing", N, batches)
+	}
+}
+
+// TestServeConcurrentWithUpdates interleaves queries with model updates
+// (run under -race): every reply must be internally consistent with the
+// version it reports.
+func TestServeConcurrentWithUpdates(t *testing.T) {
+	tr, d := trainedGCN(t, 0.03)
+	s, _ := newServer(t, tr, d, Options{BatchSize: 4, FlushInterval: 200 * time.Microsecond})
+	stop := make(chan struct{})
+	var updWG sync.WaitGroup
+	updWG.Add(1)
+	go func() {
+		defer updWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = s.UpdateModel(func() error { _, err := tr.Epoch(); return err })
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 8; k++ {
+				if _, err := s.Query(context.Background(), []graph.VertexID{graph.VertexID(i)}); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	updWG.Wait()
+}
+
+// TestServeQueryErrors covers the request-validation and lifecycle errors.
+func TestServeQueryErrors(t *testing.T) {
+	tr, d := trainedGCN(t, 0.03)
+	s, _ := newServer(t, tr, d, Options{})
+
+	if _, err := s.Query(context.Background(), []graph.VertexID{graph.VertexID(d.Graph.NumVertices())}); !errors.Is(err, ErrBadVertex) {
+		t.Fatalf("out-of-range vertex: err = %v, want ErrBadVertex", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Query(ctx, []graph.VertexID{0}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	empty, err := s.Query(context.Background(), nil)
+	if err != nil || len(empty.Results) != 0 {
+		t.Fatalf("empty query: %v, %+v", err, empty)
+	}
+
+	s.Close()
+	if _, err := s.Query(context.Background(), []graph.VertexID{0}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed server: err = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+// TestEmbedCache unit-tests the LRU and version semantics directly.
+func TestEmbedCache(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := newEmbedCache(2, reg)
+	c.Put(0, 1, 1, []float32{1})
+	c.Put(0, 2, 1, []float32{2})
+	if c.Get(0, 1, 1) == nil {
+		t.Fatal("lost a row within capacity")
+	}
+	c.Put(0, 3, 1, []float32{3}) // evicts vertex 2 (LRU; 1 was just touched)
+	if c.Get(0, 2, 1) != nil {
+		t.Fatal("LRU kept the least recently used row")
+	}
+	if c.Get(0, 1, 1) == nil {
+		t.Fatal("LRU evicted the most recently used row")
+	}
+	if row := c.Get(0, 1, 2); row != nil {
+		t.Fatal("version bump did not invalidate")
+	}
+	if c.Get(0, 1, 1) != nil {
+		t.Fatal("stale row not dropped after version-mismatch Get")
+	}
+	if got := reg.Counter("serve_cache_evictions_total").Load(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+
+	// Rows handed out stay immutable across overwrites.
+	c.Put(1, 9, 1, []float32{42})
+	row := c.Get(1, 9, 1)
+	c.Put(1, 9, 1, []float32{-1})
+	if row[0] != 42 {
+		t.Fatal("overwrite mutated a previously returned row")
+	}
+
+	// Disabled cache: everything misses, nothing is stored.
+	off := newEmbedCache(-1, reg)
+	off.Put(0, 1, 1, []float32{1})
+	if off.Get(0, 1, 1) != nil || off.Len() != 0 {
+		t.Fatal("disabled cache stored a row")
+	}
+}
+
+// TestServeHTTP exercises the JSON endpoints through the composed mux.
+func TestServeHTTP(t *testing.T) {
+	tr, d := trainedGCN(t, 0.03)
+	tracer := trace.New(0)
+	s, _ := newServer(t, tr, d, Options{Tracer: tracer})
+	ts := httptest.NewServer(s.Mux())
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, []byte) {
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, buf.Bytes()
+	}
+
+	resp, body := post(`{"vertices":[0,5,9]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %s: %s", resp.Status, body)
+	}
+	var reply Reply
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatalf("predict reply not JSON: %v", err)
+	}
+	if len(reply.Results) != 3 || reply.Results[1].Vertex != 5 {
+		t.Fatalf("predict reply: %+v", reply)
+	}
+	whole, err := tr.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, &reply, whole)
+
+	if resp, body := post(`{"vertices":[999999]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad vertex: %s: %s", resp.Status, body)
+	}
+	if resp, body := post(`{nope`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: %s: %s", resp.Status, body)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/predict"); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET predict: %v %v", err, resp.Status)
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var health struct {
+		Status       string `json:"status"`
+		ModelVersion int64  `json:"model_version"`
+		CacheRows    int    `json:"cache_rows"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.ModelVersion != 1 || health.CacheRows == 0 {
+		t.Fatalf("healthz: %+v", health)
+	}
+}
+
+// TestServeSmoke is the end-to-end smoke the Makefile's serve-smoke target
+// runs: a real listener, a concurrent query burst over HTTP, then assertions
+// that the replies are well-formed JSON and the observability surface shows
+// cache hits and serve spans.
+func TestServeSmoke(t *testing.T) {
+	tr, d := trainedGCN(t, 0.05)
+	tracer := trace.New(0)
+	s, reg := newServer(t, tr, d, Options{
+		BatchSize:     8,
+		FlushInterval: time.Millisecond,
+		Tracer:        tracer,
+	})
+	addr, shutdown, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = shutdown() }()
+	base := "http://" + addr
+
+	const N = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"vertices":[%d,%d]}`, i%8, 8+i%8) // repeats drive cache hits
+			resp, err := http.Post(base+"/v1/predict", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var reply Reply
+			if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+				errs <- fmt.Errorf("malformed reply JSON: %w", err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK || len(reply.Results) != 2 {
+				errs <- fmt.Errorf("bad reply: %s %+v", resp.Status, reply)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The cache counters are visible through /metrics and show hits.
+	resp, err := http.Get(base + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	if snap.Counters["serve_cache_hits_total"] == 0 {
+		t.Fatalf("no cache hits visible in /metrics: %+v", snap.Counters)
+	}
+	if snap.Counters["serve_requests_total"] < N {
+		t.Fatalf("requests_total = %d, want >= %d", snap.Counters["serve_requests_total"], N)
+	}
+	if hits := reg.Counter("serve_cache_hits_total").Load(); hits == 0 {
+		t.Fatal("registry shows no cache hits")
+	}
+
+	// Serve spans are visible through /trace.
+	resp2, err := http.Get(base + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp2.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"serve"`)) {
+		t.Fatal("no serve spans visible in /trace")
+	}
+}

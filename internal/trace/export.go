@@ -58,8 +58,10 @@ func catLane(cat string) int64 {
 		return 2
 	case CatComm:
 		return 3
-	default:
+	case CatServe:
 		return 4
+	default:
+		return 5
 	}
 }
 
@@ -74,6 +76,8 @@ func laneName(tid int64) string {
 		return "fence waits"
 	case 3:
 		return "comm"
+	case 4:
+		return "serve"
 	default:
 		return "other"
 	}

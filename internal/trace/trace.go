@@ -31,6 +31,9 @@ const (
 	CatFence = "fence"
 	// CatComm marks communication work (all-reduce laps, sends).
 	CatComm = "comm"
+	// CatServe marks online-inference work (a request waiting for its
+	// micro-batch, or one batch's planning + forward pass).
+	CatServe = "serve"
 )
 
 // Span is one completed timed region. Start is nanoseconds since the

@@ -1,0 +1,68 @@
+package flexgraph
+
+import (
+	"repro/internal/nau"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// Online inference. An InferenceServer answers per-vertex queries over a
+// trained model: requests are micro-batched (flush on batch size or
+// deadline), each batch's k-hop sub-HDG is extracted with the model's own
+// NeighborSelection, and the forward pass runs over a compact per-batch
+// feature universe with a versioned per-layer embedding cache in front.
+// For deterministic-neighborhood models the answers are bit-identical to a
+// whole-graph Trainer.Predict.
+//
+//	srv, err := flexgraph.NewInferenceServer(flexgraph.ServeOptions{
+//		Model: model, Graph: d.Graph, Features: d.Features,
+//	})
+//	defer srv.Close()
+//	reply, err := srv.Query(ctx, []flexgraph.VertexID{0, 7, 42})
+//
+// Or over HTTP, sharing one listener with /metrics and /trace:
+//
+//	addr, shutdown, err := srv.ListenAndServe(":8090")
+type (
+	// InferenceServer is the online inference service.
+	InferenceServer = serve.Server
+	// ServeOptions configures NewInferenceServer.
+	ServeOptions = serve.Options
+	// ServeReply answers one inference query.
+	ServeReply = serve.Reply
+	// ServeResult is one answered query vertex inside a ServeReply.
+	ServeResult = serve.Result
+)
+
+var (
+	// NewInferenceServer starts an online inference server over a trained
+	// model.
+	NewInferenceServer = serve.New
+	// ErrServerClosed reports a query against a closed InferenceServer.
+	ErrServerClosed = serve.ErrClosed
+	// ErrBadVertex reports a query vertex outside the served graph.
+	ErrBadVertex = serve.ErrBadVertex
+)
+
+// TraceCatServe tags inference-serving spans ("request", "batch") on the
+// trace timeline.
+const TraceCatServe = trace.CatServe
+
+// Serving defaults, re-exported for flag declarations.
+const (
+	// DefaultServeBatchSize is the micro-batch flush threshold.
+	DefaultServeBatchSize = serve.DefaultBatchSize
+	// DefaultServeFlushInterval is the micro-batch flush deadline.
+	DefaultServeFlushInterval = serve.DefaultFlushInterval
+	// DefaultServeCacheCapacity is the embedding cache bound in rows.
+	DefaultServeCacheCapacity = serve.DefaultCacheCapacity
+)
+
+// TrainerOptions configures NewTrainerWith — the keyword-argument
+// replacement for NewTrainer's six positional parameters. Zero values pick
+// the trainer defaults (HA engine, Adam with lr 0.01, no tracer).
+type TrainerOptions = nau.TrainerOptions
+
+// NewTrainerWith wires single-machine whole-graph training from options.
+// NewTrainer remains as a thin wrapper over it.
+var NewTrainerWith = nau.NewTrainerWith
