@@ -1,8 +1,9 @@
 GO ?= go
 
-.PHONY: ci build test race chaos trace-smoke serve-smoke vet fmt bench bench-comm
+.PHONY: ci build test race chaos trace-smoke serve-smoke vet fmt bench bench-comm \
+	bench-kernels-diff bench-smoke
 
-ci: vet fmt race chaos trace-smoke serve-smoke test
+ci: vet fmt race chaos trace-smoke serve-smoke test bench-smoke
 
 build:
 	$(GO) build ./...
@@ -71,6 +72,29 @@ bench:
 			$$1, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs) } \
 	END { printf "\n  ]\n}\n" }' /tmp/bench_kernels.txt > BENCH_kernels.latest.json
 	@echo "wrote BENCH_kernels.latest.json"
+
+# Rerun the kernel microbenchmark suites at full benchtime, regenerate
+# BENCH_kernels.latest.json, and fail loudly if any opt row regresses more
+# than 10% against the committed BENCH_kernels.json baseline (rows are
+# matched by their "bench" field). Run this before touching anything on the
+# kernel hot path.
+bench-kernels-diff:
+	@{ $(GO) test -run xxx -bench 'Kernel' -benchmem ./internal/tensor/; \
+	   $(GO) test -run xxx -bench 'Fused' -benchmem ./internal/engine/; } \
+		| tee /tmp/bench_kernels_diff.txt
+	$(GO) run ./cmd/benchdiff -max-regress 0.10 /tmp/bench_kernels_diff.txt
+
+# Short-iteration kernel bench smoke for ci: a handful of iterations per
+# benchmark, checked against the baseline with a deliberately loose 4x bound.
+# This is not a performance gate — it proves the bench harness still
+# compiles, every baseline row still exists under its recorded name, and
+# nothing fell off a cliff, in seconds instead of minutes.
+bench-smoke:
+	@{ $(GO) test -run xxx -bench 'Kernel' -benchtime 5x -benchmem ./internal/tensor/; \
+	   $(GO) test -run xxx -bench 'Fused' -benchtime 5x -benchmem ./internal/engine/; } \
+		> /tmp/bench_kernels_smoke.txt 2>&1 || { cat /tmp/bench_kernels_smoke.txt; exit 1; }
+	$(GO) run ./cmd/benchdiff -max-regress 4.0 \
+		-write-latest /tmp/bench_kernels_smoke.latest.json /tmp/bench_kernels_smoke.txt
 
 # Codec microbenchmarks; appends a machine-readable snapshot to
 # BENCH_comm.json (see that file for the recorded before/after numbers).

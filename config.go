@@ -34,17 +34,37 @@ type KernelConfig struct {
 	// EdgeBalancedSplit partitions fused-aggregation work by edge count
 	// rather than destination count.
 	EdgeBalancedSplit bool
+	// HubDegree is the minimum in-degree at which the bucketed scheduler
+	// treats a destination as a hub (edge-parallel split with private
+	// partial accumulators). <= 0 disables degree bucketing entirely.
+	HubDegree int
+	// LeafDegree is the maximum in-degree of a leaf destination
+	// (vertex-parallel batches, no merge overhead). Clamped below
+	// HubDegree.
+	LeafDegree int
+	// FeatureTile is the column tile width, in float32 columns, of the
+	// feature-dim-tiled aggregation kernels; kernels tile once the feature
+	// width reaches 2x this value. <= 0 disables tiling — the default,
+	// because tiling measured as a loss at every feature dim on the bench
+	// machine's cache hierarchy (see internal/tensor/tile.go); the lever
+	// exists for small-cache targets.
+	FeatureTile int
 }
 
 // DefaultKernelConfig returns the process's current kernel configuration —
-// after init, all levers on with Parallelism = GOMAXPROCS.
+// after init, every lever on with Parallelism = GOMAXPROCS, except
+// FeatureTile which defaults to 0 (off; see that field's comment).
 func DefaultKernelConfig() KernelConfig {
+	hub, leaf := engine.DegreeBuckets()
 	return KernelConfig{
 		Parallelism:       tensor.Parallelism(),
 		WorkerPool:        tensor.WorkerPoolEnabled(),
 		BufferPooling:     tensor.BufferPooling(),
 		BlockedMatMul:     tensor.BlockedMatMul(),
 		EdgeBalancedSplit: engine.EdgeBalancedSplit(),
+		HubDegree:         hub,
+		LeafDegree:        leaf,
+		FeatureTile:       tensor.FeatureTile(),
 	}
 }
 
@@ -56,4 +76,6 @@ func (c KernelConfig) Apply() {
 	tensor.SetBufferPooling(c.BufferPooling)
 	tensor.SetBlockedMatMul(c.BlockedMatMul)
 	engine.SetEdgeBalancedSplit(c.EdgeBalancedSplit)
+	engine.SetDegreeBuckets(c.HubDegree, c.LeafDegree)
+	tensor.SetFeatureTile(c.FeatureTile)
 }

@@ -128,6 +128,14 @@ var (
 	// SetEdgeBalancedSplit toggles degree-weighted worker ranges in the
 	// fused aggregation kernels (off = equal destination counts).
 	SetEdgeBalancedSplit = engine.SetEdgeBalancedSplit
+	// SetDegreeBuckets sets the hub/leaf degree thresholds of the
+	// degree-bucketed aggregation scheduler (hubMin <= 0 disables
+	// bucketing).
+	SetDegreeBuckets = engine.SetDegreeBuckets
+	// SetFeatureTile sets the column tile width of the feature-dim-tiled
+	// fused aggregation kernels (w <= 0 disables tiling, the default; see
+	// internal/tensor/tile.go for why).
+	SetFeatureTile = tensor.SetFeatureTile
 )
 
 // Hybrid execution strategies (the paper's Fig. 14 ablation).

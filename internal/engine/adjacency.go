@@ -20,6 +20,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/hdg"
@@ -42,6 +43,10 @@ type Adjacency struct {
 
 	revOnce sync.Once
 	rev     *Adjacency
+
+	// bplan caches the degree-bucket classification for the bucketed
+	// scheduler (see schedule.go); rebuilt when the thresholds change.
+	bplan atomic.Pointer[bucketPlan]
 }
 
 // NumEdges returns the level's edge count.

@@ -2,8 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/hdg"
 	"repro/internal/metrics"
@@ -82,22 +82,26 @@ func SetGrainHistogram(h *metrics.Histogram) { grainHist.Store(h) }
 // parallelDst partitions [0, n) destination rows across workers. With
 // edge-balanced splitting the CSR pointer array acts as a prefix-sum of
 // per-row work so chunk boundaries equalise edges, not rows; itemCost is the
-// per-edge cost in float ops (the feature width).
+// per-edge cost in float ops (the feature width). It is the pre-bucketing
+// scheduling policy, still used directly by runDst's fallback when degree
+// bucketing is disabled.
 func parallelDst(n int, ptr []int64, itemCost int, body func(start, end int)) {
-	if h := grainHist.Load(); h != nil {
-		inner := body
-		body = func(s, e int) {
-			t0 := time.Now()
-			inner(s, e)
-			h.ObserveSince(t0)
-		}
-	}
+	body = instrumented(body)
 	if EdgeBalancedSplit() {
 		tensor.ParallelForWeighted(n, ptr, itemCost, body)
 		return
 	}
 	tensor.ParallelForGrain(n, 0, body)
 }
+
+// minTileEdges is the minimum in-degree at which a destination's fold is
+// worth running once per column tile: below it the repeated edge-list walks
+// cost more than the cache locality buys.
+const minTileEdges = 4
+
+// minHubSegEdges is the minimum edge count of one hub segment in the
+// edge-parallel fold, amortising the partial-accumulator init and merge.
+const minHubSegEdges = 64
 
 // AggregateBottom aggregates source features into destination rows for the
 // bottom (neighbor-instance) level, or for a DNFA model's 1-hop level. The
@@ -221,9 +225,9 @@ func fusedAggregate(adj *Adjacency, feats *nn.Value, op tensor.ReduceOp, simd bo
 	case tensor.ReduceSum, tensor.ReduceMean:
 		return fusedSumMean(adj, feats, op, simd, ar)
 	case tensor.ReduceMax:
-		return fusedExtreme(adj, feats, true, ar)
+		return fusedExtreme(adj, feats, true, simd, ar)
 	case tensor.ReduceMin:
-		return fusedExtreme(adj, feats, false, ar)
+		return fusedExtreme(adj, feats, false, simd, ar)
 	default:
 		panic(fmt.Sprintf("engine: unsupported fused op %v", op))
 	}
@@ -233,6 +237,9 @@ func fusedAggregate(adj *Adjacency, feats *nn.Value, op tensor.ReduceOp, simd bo
 // of a destination copies instead of accumulating, so the output needs no
 // zero-fill pass (0 + x == x exactly in IEEE arithmetic, so results are
 // bitwise identical to the seed); empty destinations are cleared explicitly.
+// Wide feature dims fold one column tile at a time, and hub destinations
+// split their columns across workers — both leave each column's edge-order
+// fold untouched, so every schedule is bitwise identical.
 func fusedForwardSum(adj *Adjacency, feats *tensor.Tensor, mean, simd bool, ar *tensor.Arena) *tensor.Tensor {
 	dim := feats.Cols()
 	out := ar.NewUninit(adj.NumDst, dim)
@@ -242,31 +249,48 @@ func fusedForwardSum(adj *Adjacency, feats *tensor.Tensor, mean, simd bool, ar *
 		add = tensor.AddScalarLoop
 	}
 	idx := adj.SrcIdx
-	parallelDst(adj.NumDst, adj.DstPtr, dim, func(s, e int) {
-		for d := s; d < e; d++ {
-			dst := od[d*dim : (d+1)*dim]
-			lo, hi := adj.DstPtr[d], adj.DstPtr[d+1]
-			if lo == hi {
-				clear(dst)
-				continue
+	tile := tensor.FeatureTileFor(dim)
+	// rowPass folds columns [j0, j1) of destination d in edge order.
+	rowPass := func(d, j0, j1 int) {
+		dst := od[d*dim+j0 : d*dim+j1]
+		lo, hi := adj.DstPtr[d], adj.DstPtr[d+1]
+		if lo == hi {
+			clear(dst)
+			return
+		}
+		if adj.ImplicitSrc {
+			copy(dst, fd[lo*int64(dim)+int64(j0):lo*int64(dim)+int64(j1)])
+			for p := lo + 1; p < hi; p++ {
+				add(dst, fd[p*int64(dim)+int64(j0):p*int64(dim)+int64(j1)])
 			}
-			if adj.ImplicitSrc {
-				copy(dst, fd[lo*int64(dim):(lo+1)*int64(dim)])
-				for p := lo + 1; p < hi; p++ {
-					add(dst, fd[p*int64(dim):(p+1)*int64(dim)])
-				}
-			} else {
-				src := int(idx[lo])
-				copy(dst, fd[src*dim:(src+1)*dim])
-				for p := lo + 1; p < hi; p++ {
-					src = int(idx[p])
-					add(dst, fd[src*dim:(src+1)*dim])
-				}
-			}
-			if mean {
-				tensor.ScaleUnrolled(dst, 1/float32(hi-lo))
+		} else {
+			s := int(idx[lo]) * dim
+			copy(dst, fd[s+j0:s+j1])
+			for p := lo + 1; p < hi; p++ {
+				s = int(idx[p]) * dim
+				add(dst, fd[s+j0:s+j1])
 			}
 		}
+	}
+	scale := func(d int) {
+		if lo, hi := adj.DstPtr[d], adj.DstPtr[d+1]; mean && hi > lo {
+			tensor.ScaleUnrolled(od[d*dim:(d+1)*dim], 1/float32(hi-lo))
+		}
+	}
+	runDst(adj, dim, func(d int) {
+		if tile > 0 && adj.DstPtr[d+1]-adj.DstPtr[d] >= minTileEdges {
+			for j0 := 0; j0 < dim; j0 += tile {
+				rowPass(d, j0, min(j0+tile, dim))
+			}
+		} else {
+			rowPass(d, 0, dim)
+		}
+		scale(d)
+	}, func(d int) {
+		parallelCols(dim, adj.DstPtr[d+1]-adj.DstPtr[d], func(j0, j1 int) {
+			rowPass(d, j0, j1)
+		})
+		scale(d)
 	})
 	return out
 }
@@ -307,30 +331,44 @@ func fusedSumMean(adj *Adjacency, feats *nn.Value, op tensor.ReduceOp, simd bool
 				}
 			}
 		}
-		parallelDst(rev.NumDst, rev.DstPtr, dim, func(s, e int) {
-			for v := s; v < e; v++ {
-				dst := gd[v*dim : (v+1)*dim]
-				lo, hi := rev.DstPtr[v], rev.DstPtr[v+1]
-				if lo == hi {
-					clear(dst) // source with no out-edges: zero gradient
-					continue
-				}
-				d := int(rev.SrcIdx[lo])
+		tile := tensor.FeatureTileFor(dim)
+		// rowPass accumulates gradient columns [j0, j1) of source v; the
+		// reverse adjacency lists v's destinations, walked in edge order.
+		rowPass := func(v, j0, j1 int) {
+			dst := gd[v*dim+j0 : v*dim+j1]
+			lo, hi := rev.DstPtr[v], rev.DstPtr[v+1]
+			if lo == hi {
+				clear(dst) // source with no out-edges: zero gradient
+				return
+			}
+			d := int(rev.SrcIdx[lo])
+			if mean {
+				scaledCopy(dst, od[d*dim+j0:d*dim+j1], degInv[d])
+			} else {
+				copy(dst, od[d*dim+j0:d*dim+j1])
+			}
+			for p := lo + 1; p < hi; p++ {
+				d = int(rev.SrcIdx[p])
+				row := od[d*dim+j0 : d*dim+j1]
 				if mean {
-					scaledCopy(dst, od[d*dim:(d+1)*dim], degInv[d])
+					axpy(dst, row, degInv[d])
 				} else {
-					copy(dst, od[d*dim:(d+1)*dim])
-				}
-				for p := lo + 1; p < hi; p++ {
-					d = int(rev.SrcIdx[p])
-					row := od[d*dim : (d+1)*dim]
-					if mean {
-						axpy(dst, row, degInv[d])
-					} else {
-						add(dst, row)
-					}
+					add(dst, row)
 				}
 			}
+		}
+		runDst(rev, dim, func(v int) {
+			if tile > 0 && rev.DstPtr[v+1]-rev.DstPtr[v] >= minTileEdges {
+				for j0 := 0; j0 < dim; j0 += tile {
+					rowPass(v, j0, min(j0+tile, dim))
+				}
+			} else {
+				rowPass(v, 0, dim)
+			}
+		}, func(v int) {
+			parallelCols(dim, rev.DstPtr[v+1]-rev.DstPtr[v], func(j0, j1 int) {
+				rowPass(v, j0, j1)
+			})
 		})
 		if mean {
 			tensor.PutBuf(degInv)
@@ -340,43 +378,148 @@ func fusedSumMean(adj *Adjacency, feats *nn.Value, op tensor.ReduceOp, simd bool
 	return nn.NewOp(data, backward, feats)
 }
 
-func fusedExtreme(adj *Adjacency, feats *nn.Value, max bool, ar *tensor.Arena) *nn.Value {
+// fusedExtreme is the fused max/min path. Values follow the builtin
+// max/min semantics (NaN propagates, +0 orders above -0 — see the kernel
+// notes in tensor/simd.go); the argmax recording the winning source per
+// element replaces exactly when the value fold does, so tracked and
+// untracked runs agree bitwise. When feats does not require gradients the
+// argmax buffer is skipped entirely (inference never reads it). Hub
+// destinations fold edge-parallel segments into private partial
+// accumulators merged in segment order — bit-exact for a selection fold,
+// first occurrence still wins ties.
+func fusedExtreme(adj *Adjacency, feats *nn.Value, max, simd bool, ar *tensor.Arena) *nn.Value {
 	dim := feats.Data.Cols()
 	out := ar.NewUninit(adj.NumDst, dim)
-	argmax := make([]int32, adj.NumDst*dim)
+	tracked := feats.RequiresGrad()
+	var argmax []int32
+	if tracked {
+		argmax = make([]int32, adj.NumDst*dim)
+	}
 	od, fd := out.Data(), feats.Data.Data()
-	parallelDst(adj.NumDst, adj.DstPtr, dim, func(s, e int) {
-		for d := s; d < e; d++ {
-			base := d * dim
-			lo, hi := adj.DstPtr[d], adj.DstPtr[d+1]
-			if lo == hi {
-				clear(od[base : base+dim])
-				for j := 0; j < dim; j++ {
-					argmax[base+j] = -1
+	fold, foldArg := tensor.MaxUnrolled, tensor.MaxArgUnrolled
+	mergeArg := tensor.MergeMaxArg
+	inf := float32(math.Inf(-1))
+	if !max {
+		fold, foldArg, mergeArg = tensor.MinUnrolled, tensor.MinArgUnrolled, tensor.MergeMinArg
+		inf = float32(math.Inf(1))
+	}
+	if !simd {
+		fold, foldArg = tensor.MaxScalarLoop, tensor.MaxArgScalarLoop
+		if !max {
+			fold, foldArg = tensor.MinScalarLoop, tensor.MinArgScalarLoop
+		}
+	}
+	// rowPass folds columns [j0, j1) of destination d in edge order,
+	// copy-first so the first source wins all initial ties.
+	rowPass := func(d, j0, j1 int) {
+		base := d * dim
+		dst := od[base+j0 : base+j1]
+		lo, hi := adj.DstPtr[d], adj.DstPtr[d+1]
+		if lo == hi {
+			clear(dst)
+			if tracked {
+				args := argmax[base+j0 : base+j1]
+				for j := range args {
+					args[j] = -1
 				}
-				continue
 			}
-			src := int(adj.Src(lo))
-			copy(od[base:base+dim], fd[src*dim:(src+1)*dim])
-			for j := 0; j < dim; j++ {
-				argmax[base+j] = int32(src)
+			return
+		}
+		src := int(adj.Src(lo))
+		copy(dst, fd[src*dim+j0:src*dim+j1])
+		if tracked {
+			args := argmax[base+j0 : base+j1]
+			for j := range args {
+				args[j] = int32(src)
 			}
 			for p := lo + 1; p < hi; p++ {
 				src = int(adj.Src(p))
-				row := fd[src*dim : (src+1)*dim]
-				for j := 0; j < dim; j++ {
-					better := row[j] > od[base+j]
-					if !max {
-						better = row[j] < od[base+j]
+				foldArg(dst, args, fd[src*dim+j0:src*dim+j1], int32(src))
+			}
+		} else {
+			for p := lo + 1; p < hi; p++ {
+				src = int(adj.Src(p))
+				fold(dst, fd[src*dim+j0:src*dim+j1])
+			}
+		}
+	}
+	tile := tensor.FeatureTileFor(dim)
+	rowBody := func(d int) {
+		if tile > 0 && adj.DstPtr[d+1]-adj.DstPtr[d] >= minTileEdges {
+			for j0 := 0; j0 < dim; j0 += tile {
+				rowPass(d, j0, min(j0+tile, dim))
+			}
+		} else {
+			rowPass(d, 0, dim)
+		}
+	}
+	hubBody := func(d int) {
+		base := d * dim
+		lo, hi := adj.DstPtr[d], adj.DstPtr[d+1]
+		bounds := edgeSegments(lo, hi, minHubSegEdges)
+		nseg := len(bounds) - 1
+		if nseg <= 1 {
+			rowBody(d)
+			return
+		}
+		// Segment 0 folds straight into the output row (copy-first, as the
+		// scalar path); later segments fold into ±Inf-initialised private
+		// partials. An uninitialised partial arg is never observed: a
+		// partial element only beats the merged value once the fold
+		// replaced its ±Inf identity, which also wrote the arg.
+		partials := tensor.GetBufUninit((nseg - 1) * dim)
+		var pargs []int32
+		if tracked {
+			pargs = make([]int32, (nseg-1)*dim)
+		}
+		tensor.ParallelForGrain(nseg, 1, func(s, e int) {
+			for k := s; k < e; k++ {
+				plo, phi := bounds[k], bounds[k+1]
+				var dst []float32
+				var args []int32
+				if k == 0 {
+					dst = od[base : base+dim]
+					src := int(adj.Src(plo))
+					copy(dst, fd[src*dim:(src+1)*dim])
+					if tracked {
+						args = argmax[base : base+dim]
+						for j := range args {
+							args[j] = int32(src)
+						}
 					}
-					if better {
-						od[base+j] = row[j]
-						argmax[base+j] = int32(src)
+					plo++
+				} else {
+					dst = partials[(k-1)*dim : k*dim]
+					for j := range dst {
+						dst[j] = inf
+					}
+					if tracked {
+						args = pargs[(k-1)*dim : k*dim]
+					}
+				}
+				if tracked {
+					for p := plo; p < phi; p++ {
+						src := int(adj.Src(p))
+						foldArg(dst, args, fd[src*dim:(src+1)*dim], int32(src))
+					}
+				} else {
+					for p := plo; p < phi; p++ {
+						src := int(adj.Src(p))
+						fold(dst, fd[src*dim:(src+1)*dim])
 					}
 				}
 			}
+		})
+		for k := 1; k < nseg; k++ {
+			if tracked {
+				mergeArg(od[base:base+dim], argmax[base:base+dim], partials[(k-1)*dim:k*dim], pargs[(k-1)*dim:k*dim])
+			} else {
+				fold(od[base:base+dim], partials[(k-1)*dim:k*dim])
+			}
 		}
-	})
+		tensor.PutBuf(partials)
+	}
+	runDst(adj, dim, rowBody, hubBody)
 	backward := func(outV *nn.Value) {
 		if tensor.Parallelism() <= 1 {
 			// One worker: no write races to avoid, so scatter the argmax
@@ -404,25 +547,30 @@ func fusedExtreme(adj *Adjacency, feats *nn.Value, max bool, ar *tensor.Arena) *
 		rev := adj.Reverse()
 		grad := tensor.NewUninit(feats.Data.Shape()...)
 		gd, ogd := grad.Data(), outV.Grad.Data()
-		parallelDst(rev.NumDst, rev.DstPtr, dim, func(s, e int) {
-			for v := s; v < e; v++ {
-				row := gd[v*dim : (v+1)*dim]
-				clear(row)
-				prev := int32(-1)
-				for p := rev.DstPtr[v]; p < rev.DstPtr[v+1]; p++ {
-					d := rev.SrcIdx[p]
-					if d == prev {
-						continue
-					}
-					prev = d
-					base := int(d) * dim
-					for j := 0; j < dim; j++ {
-						if argmax[base+j] == int32(v) {
-							row[j] += ogd[base+j]
-						}
+		rowPass := func(v, j0, j1 int) {
+			row := gd[v*dim+j0 : v*dim+j1]
+			clear(row)
+			prev := int32(-1)
+			for p := rev.DstPtr[v]; p < rev.DstPtr[v+1]; p++ {
+				d := rev.SrcIdx[p]
+				if d == prev {
+					continue
+				}
+				prev = d
+				base := int(d) * dim
+				for j := j0; j < j1; j++ {
+					if argmax[base+j] == int32(v) {
+						row[j-j0] += ogd[base+j]
 					}
 				}
 			}
+		}
+		runDst(rev, dim, func(v int) {
+			rowPass(v, 0, dim)
+		}, func(v int) {
+			parallelCols(dim, rev.DstPtr[v+1]-rev.DstPtr[v], func(j0, j1 int) {
+				rowPass(v, j0, j1)
+			})
 		})
 		nn.AccumGradOwned(feats, grad)
 	}

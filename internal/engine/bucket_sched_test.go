@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// hubTestAdjacency builds a skewed level that populates every scheduler
+// bucket under thresholds (64, 8): destination 0 is a 600-edge hub (enough
+// for several 64-edge segments), destination 2 a 150-edge hub, a band of
+// 40-edge mid destinations, a tail of 0-3 edge leaves (including empty
+// destinations), plus consecutive duplicate edges on the hub.
+func hubTestAdjacency(rng *tensor.RNG, nDst, nSrc int) *Adjacency {
+	degs := make([]int, nDst)
+	degs[0] = 600
+	degs[2] = 150
+	for d := 3; d < 13 && d < nDst; d++ {
+		degs[d] = 40
+	}
+	for d := 13; d < nDst; d++ {
+		degs[d] = rng.Intn(4) // 0..3, leaves and empties
+	}
+	ptr := make([]int64, nDst+1)
+	for d, g := range degs {
+		ptr[d+1] = ptr[d] + int64(g)
+	}
+	idx := make([]int32, ptr[nDst])
+	for d := 0; d < nDst; d++ {
+		for e := ptr[d]; e < ptr[d+1]; e++ {
+			idx[e] = int32(rng.Intn(nSrc))
+		}
+	}
+	// Multi-edges on the hub: the backward dup-skip path must fire.
+	if degs[0] > 4 {
+		idx[1] = idx[0]
+		idx[3] = idx[2]
+	}
+	return &Adjacency{NumDst: nDst, NumSrc: nSrc, DstPtr: ptr, SrcIdx: idx}
+}
+
+// specialFeats fills an [nSrc, dim] feature matrix with a coarse grid full
+// of exact ties plus NaN, ±Inf and -0 entries.
+func specialFeats(rng *tensor.RNG, nSrc, dim int) *tensor.Tensor {
+	t := tensor.NewUninit(nSrc, dim)
+	d := t.Data()
+	specials := []float32{
+		float32(math.NaN()), float32(math.Inf(-1)), float32(math.Inf(1)),
+		float32(math.Copysign(0, -1)),
+	}
+	for i := range d {
+		if rng.Intn(17) == 0 {
+			d[i] = specials[rng.Intn(len(specials))]
+		} else {
+			d[i] = float32(rng.Intn(7) - 3) // frequent exact ties
+		}
+	}
+	return t
+}
+
+func tensorsBitEqualNaN(a, b *tensor.Tensor) (int, bool) {
+	ad, bd := a.Data(), b.Data()
+	for i := range ad {
+		x, y := ad[i], bd[i]
+		if x != x || y != y {
+			if x != x && y != y {
+				continue
+			}
+			return i, false
+		}
+		if math.Float32bits(x) != math.Float32bits(y) {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// TestBucketedFusedBitExact is the bit-exactness contract of the
+// degree-bucketed, feature-tiled scheduler: FusedAggregate under every
+// lever combination — SIMD on/off, buckets on/off, tiling on/off,
+// parallelism 1 and 8, gradient tracking on/off — must produce forward
+// outputs and (when tracked) input gradients bitwise identical to the
+// serial, unbucketed, untiled reference, on a graph with real hubs and
+// features full of NaN, ±Inf, -0 and exact ties. A distinct per-element
+// upstream gradient makes the comparison sensitive to argmax tie-breaking:
+// routing any tied element to a different source changes the gradient.
+func TestBucketedFusedBitExact(t *testing.T) {
+	hubDef, leafDef := DegreeBuckets()
+	tileDef := tensor.FeatureTile()
+	defer func() {
+		tensor.SetParallelism(0)
+		SetDegreeBuckets(hubDef, leafDef)
+		tensor.SetFeatureTile(tileDef)
+	}()
+
+	rng := tensor.NewRNG(99)
+	const nDst, nSrc, dim = 60, 120, 24
+	adj := hubTestAdjacency(rng, nDst, nSrc)
+	feats := specialFeats(rng, nSrc, dim)
+	dOut := tensor.NewUninit(nDst, dim)
+	dd := dOut.Data()
+	for i := range dd {
+		dd[i] = float32(i%97) + 0.5 // distinct upstream gradients
+	}
+	ops := []tensor.ReduceOp{tensor.ReduceSum, tensor.ReduceMean, tensor.ReduceMax, tensor.ReduceMin}
+
+	run := func(op tensor.ReduceOp, simd, tracked bool) (*tensor.Tensor, *tensor.Tensor) {
+		v := nn.Constant(feats.Clone())
+		if tracked {
+			v = nn.Param(feats.Clone())
+		}
+		out := FusedAggregateOpt(adj, v, op, simd)
+		if !tracked {
+			return out.Data.Clone(), nil
+		}
+		out.BackwardWith(dOut)
+		return out.Data.Clone(), v.Grad.Clone()
+	}
+
+	// Reference: serial, unbucketed, untiled, SIMD kernels, tracked.
+	tensor.SetParallelism(1)
+	SetDegreeBuckets(0, 0)
+	tensor.SetFeatureTile(0)
+	wantOut := map[tensor.ReduceOp]*tensor.Tensor{}
+	wantGrad := map[tensor.ReduceOp]*tensor.Tensor{}
+	for _, op := range ops {
+		wantOut[op], wantGrad[op] = run(op, true, true)
+	}
+
+	for _, simd := range []bool{true, false} {
+		for _, buckets := range [][2]int{{0, 0}, {64, 8}} {
+			for _, tile := range []int{0, 8} {
+				for _, par := range []int{1, 8} {
+					for _, tracked := range []bool{true, false} {
+						tensor.SetParallelism(par)
+						SetDegreeBuckets(buckets[0], buckets[1])
+						tensor.SetFeatureTile(tile)
+						cfg := fmt.Sprintf("simd=%v buckets=%v tile=%d par=%d tracked=%v",
+							simd, buckets, tile, par, tracked)
+						for _, op := range ops {
+							out, grad := run(op, simd, tracked)
+							if i, ok := tensorsBitEqualNaN(out, wantOut[op]); !ok {
+								t.Fatalf("[%s op=%v] forward diverged at %d: %v vs %v",
+									cfg, op, i, out.Data()[i], wantOut[op].Data()[i])
+							}
+							if tracked {
+								if i, ok := tensorsBitEqualNaN(grad, wantGrad[op]); !ok {
+									t.Fatalf("[%s op=%v] gradient diverged at %d: %v vs %v",
+										cfg, op, i, grad.Data()[i], wantGrad[op].Data()[i])
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -200,6 +200,54 @@ func BenchmarkFusedAggSum(b *testing.B)  { benchFusedForward(b, tensor.ReduceSum
 func BenchmarkFusedAggMean(b *testing.B) { benchFusedForward(b, tensor.ReduceMean) }
 func BenchmarkFusedAggMax(b *testing.B)  { benchFusedForward(b, tensor.ReduceMax) }
 
+// Wide-feature-dim forward suite: dim 256 is wide enough for the
+// feature-tile lever to fire when enabled. opt runs the default config
+// (tiling off — it measured a loss at every dim on this machine, see
+// tensor/tile.go); opt-tile enables a 64-column tile to keep that cost
+// auditable, and opt-nobucket isolates the degree-bucketing lever.
+func benchFusedForwardWide(b *testing.B, op tensor.ReduceOp) {
+	const wideDim = 256
+	rng := tensor.NewRNG(7)
+	adj := powerLawAdjacency(rng, fusedBenchVerts, fusedBenchEdges)
+	adj.Reverse()
+	fv := nn.Constant(tensor.RandN(rng, 1, fusedBenchVerts, wideDim))
+	b.Run("seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			switch op {
+			case tensor.ReduceSum, tensor.ReduceMean:
+				seedFusedSumMean(adj, fv, op == tensor.ReduceMean)
+			case tensor.ReduceMax:
+				seedFusedMax(adj, fv)
+			}
+		}
+	})
+	opt := func(b *testing.B) {
+		ar := &tensor.Arena{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fusedAggregate(adj, fv, op, true, ar)
+			ar.Reset()
+		}
+	}
+	b.Run("opt", opt)
+	b.Run("opt-tile", func(b *testing.B) {
+		tileDef := tensor.FeatureTile()
+		tensor.SetFeatureTile(64)
+		defer tensor.SetFeatureTile(tileDef)
+		opt(b)
+	})
+	b.Run("opt-nobucket", func(b *testing.B) {
+		hubDef, leafDef := DegreeBuckets()
+		SetDegreeBuckets(0, 0)
+		defer SetDegreeBuckets(hubDef, leafDef)
+		opt(b)
+	})
+}
+
+func BenchmarkFusedAggSumWide(b *testing.B) { benchFusedForwardWide(b, tensor.ReduceSum) }
+func BenchmarkFusedAggMaxWide(b *testing.B) { benchFusedForwardWide(b, tensor.ReduceMax) }
+
 func benchFusedTrainStep(b *testing.B, op tensor.ReduceOp) {
 	adj, feats, grad := fusedBenchInputs()
 	b.Run("seed", func(b *testing.B) {

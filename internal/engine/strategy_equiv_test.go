@@ -58,30 +58,40 @@ func runHierarchical(e *Engine, h *hdg.HDG, adj *Adjacency, base *tensor.Tensor,
 // Property test for the kernel overhaul: SA, SA+FA and HA must produce
 // numerically identical forward outputs and leaf gradients on a random
 // heterogeneous graph — under every combination of the kernel toggles
-// (worker pool, buffer pooling, edge-balanced splitting), at parallelism 1
-// and 8, and with or without a step arena installed on the engine.
+// (worker pool, buffer pooling, edge-balanced splitting, degree buckets,
+// feature tiling), at parallelism 1 and 8, and with or without a step arena
+// installed on the engine. The feature width (17) is wide enough that the
+// tile-8 configurations genuinely tile (dim >= 2*tile) and odd so the
+// unrolled kernels exercise their scalar tails; the bucket thresholds (4, 2)
+// are small enough that all three buckets are populated.
 func TestStrategiesAgreeUnderAllKernelConfigs(t *testing.T) {
+	hubDef, leafDef := DegreeBuckets()
+	tileDef := tensor.FeatureTile()
 	defer func() {
 		tensor.SetParallelism(0)
 		tensor.SetWorkerPool(true)
 		tensor.SetBufferPooling(true)
 		SetEdgeBalancedSplit(true)
+		SetDegreeBuckets(hubDef, leafDef)
+		tensor.SetFeatureTile(tileDef)
 	}()
 
 	rng := tensor.NewRNG(42)
 	nVerts := 40
 	h := randomHeteroHDG(t, rng, 12, nVerts)
 	adj := FromHDGBottom(h, nVerts)
-	base := tensor.RandN(rng, 1, nVerts, 5)
+	base := tensor.RandN(rng, 1, nVerts, 17)
 
 	ops := []tensor.ReduceOp{tensor.ReduceSum, tensor.ReduceMean, tensor.ReduceMax, tensor.ReduceMin}
 
 	// Reference: seed-equivalent configuration (no pool, no pooling, no
-	// edge balancing, serial), SA strategy.
+	// edge balancing, no buckets, no tiling, serial), SA strategy.
 	tensor.SetParallelism(1)
 	tensor.SetWorkerPool(false)
 	tensor.SetBufferPooling(false)
 	SetEdgeBalancedSplit(false)
+	SetDegreeBuckets(0, 0)
+	tensor.SetFeatureTile(0)
 	wantOut := make(map[tensor.ReduceOp]*tensor.Tensor)
 	wantGrad := make(map[tensor.ReduceOp]*tensor.Tensor)
 	for _, op := range ops {
@@ -91,35 +101,41 @@ func TestStrategiesAgreeUnderAllKernelConfigs(t *testing.T) {
 	for _, pool := range []bool{false, true} {
 		for _, pooling := range []bool{false, true} {
 			for _, balanced := range []bool{false, true} {
-				for _, par := range []int{1, 8} {
-					for _, withArena := range []bool{false, true} {
-						tensor.SetWorkerPool(pool)
-						tensor.SetBufferPooling(pooling)
-						SetEdgeBalancedSplit(balanced)
-						tensor.SetParallelism(par)
-						cfg := fmt.Sprintf("pool=%v pooling=%v balanced=%v par=%d arena=%v",
-							pool, pooling, balanced, par, withArena)
-						for _, strat := range []Strategy{StrategySA, StrategySAFA, StrategyHA} {
-							e := New(strat)
-							var ar *tensor.Arena
-							if withArena {
-								ar = &tensor.Arena{}
-								e.Arena = ar
-							}
-							for _, op := range ops {
-								out, grad := runHierarchical(e, h, adj, base, op)
-								if !out.ApproxEqual(wantOut[op], 1e-5) {
-									t.Fatalf("[%s %v op=%v] forward output diverged", cfg, strat, op)
+				for _, buckets := range [][2]int{{0, 0}, {4, 2}} {
+					for _, tile := range []int{0, 8} {
+						for _, par := range []int{1, 8} {
+							for _, withArena := range []bool{false, true} {
+								tensor.SetWorkerPool(pool)
+								tensor.SetBufferPooling(pooling)
+								SetEdgeBalancedSplit(balanced)
+								SetDegreeBuckets(buckets[0], buckets[1])
+								tensor.SetFeatureTile(tile)
+								tensor.SetParallelism(par)
+								cfg := fmt.Sprintf("pool=%v pooling=%v balanced=%v buckets=%v tile=%d par=%d arena=%v",
+									pool, pooling, balanced, buckets, tile, par, withArena)
+								for _, strat := range []Strategy{StrategySA, StrategySAFA, StrategyHA} {
+									e := New(strat)
+									var ar *tensor.Arena
+									if withArena {
+										ar = &tensor.Arena{}
+										e.Arena = ar
+									}
+									for _, op := range ops {
+										out, grad := runHierarchical(e, h, adj, base, op)
+										if !out.ApproxEqual(wantOut[op], 1e-5) {
+											t.Fatalf("[%s %v op=%v] forward output diverged", cfg, strat, op)
+										}
+										if !grad.ApproxEqual(wantGrad[op], 1e-5) {
+											t.Fatalf("[%s %v op=%v] leaf gradient diverged", cfg, strat, op)
+										}
+									}
+									if withArena {
+										if e.Strategy != StrategySA && ar.Live() == 0 {
+											t.Fatalf("[%s %v] fused path did not use the arena", cfg, strat)
+										}
+										ar.Reset()
+									}
 								}
-								if !grad.ApproxEqual(wantGrad[op], 1e-5) {
-									t.Fatalf("[%s %v op=%v] leaf gradient diverged", cfg, strat, op)
-								}
-							}
-							if withArena {
-								if e.Strategy != StrategySA && ar.Live() == 0 {
-									t.Fatalf("[%s %v] fused path did not use the arena", cfg, strat)
-								}
-								ar.Reset()
 							}
 						}
 					}

@@ -196,17 +196,28 @@ func scatterMaxWithArg(values *tensor.Tensor, index []int32, numOut int) (*tenso
 	return scatterExtremeWithArg(values, index, numOut, true)
 }
 
+// scatterExtremeWithArg computes the per-group elementwise max/min plus the
+// winning row per output element (-1 for empty groups, whose values stay
+// zero). The fold follows the builtin max/min semantics (NaN propagates,
+// +0 orders above -0) with first occurrence winning ties, matching
+// tensor.ScatterMax/Min and the fused engine kernels bitwise. The first
+// contribution of each group copies instead of folding, so the dispatch
+// inner loop needs no "row still empty" test.
 func scatterExtremeWithArg(values *tensor.Tensor, index []int32, numOut int, max bool) (*tensor.Tensor, []int32) {
 	c := values.Cols()
-	out := tensor.New(numOut, c)
+	out := tensor.New(numOut, c) // zero-filled: empty groups stay zero
 	argmax := make([]int32, numOut*c)
-	for i := range argmax {
-		argmax[i] = -1
-	}
 	counts := make([]int32, numOut)
-	for _, dst := range index {
+	firstEdge := make([]int32, numOut)
+	for i := range firstEdge {
+		firstEdge[i] = -1
+	}
+	for i, dst := range index {
 		if dst < 0 || int(dst) >= numOut {
 			panic(fmt.Sprintf("nn: scatter index %d out of range [0,%d)", dst, numOut))
+		}
+		if counts[dst] == 0 {
+			firstEdge[dst] = int32(i)
 		}
 		counts[dst]++
 	}
@@ -214,28 +225,46 @@ func scatterExtremeWithArg(values *tensor.Tensor, index []int32, numOut int, max
 	for d, n := range counts {
 		prefix[d+1] = prefix[d] + int64(n)
 	}
+	foldArg := tensor.MaxArgUnrolled
+	if !max {
+		foldArg = tensor.MinArgUnrolled
+	}
 	vd, od := values.Data(), out.Data()
-	// Each worker owns a contribution-weighted range of destination rows and
-	// scans the whole index, touching only its own rows: disjoint writes,
-	// and a hub destination cannot serialise a chunk.
-	tensor.ParallelForWeighted(numOut, prefix, c, func(lo, hi int) {
+	pass := func(lo, hi, j0, j1 int) {
+		for r := lo; r < hi; r++ {
+			if counts[r] == 0 {
+				args := argmax[r*c+j0 : r*c+j1]
+				for j := range args {
+					args[j] = -1
+				}
+			}
+		}
 		for i, dst := range index {
 			if int(dst) < lo || int(dst) >= hi {
 				continue
 			}
 			base := int(dst) * c
-			for j := 0; j < c; j++ {
-				v := vd[i*c+j]
-				better := v > od[base+j]
-				if !max {
-					better = v < od[base+j]
+			dstRow := od[base+j0 : base+j1]
+			args := argmax[base+j0 : base+j1]
+			vrow := vd[i*c+j0 : i*c+j1]
+			if int32(i) == firstEdge[dst] {
+				copy(dstRow, vrow)
+				for j := range args {
+					args[j] = int32(i)
 				}
-				if argmax[base+j] < 0 || better {
-					od[base+j] = v
-					argmax[base+j] = int32(i)
-				}
+			} else {
+				foldArg(dstRow, args, vrow, int32(i))
 			}
 		}
+	}
+	// Each worker owns a contribution-weighted range of destination rows and
+	// scans the whole index, touching only its own rows: disjoint writes,
+	// and a hub destination cannot serialise a chunk. Like tensor's scatter,
+	// this index-scan structure deliberately ignores the FeatureTile knob:
+	// re-running the scan per column tile re-streams the values array with
+	// strided reads and measured strictly slower (see tensor/scatter.go).
+	tensor.ParallelForWeighted(numOut, prefix, c, func(lo, hi int) {
+		pass(lo, hi, 0, c)
 	})
 	return out, argmax
 }
@@ -361,17 +390,16 @@ func reduceMiddleMax(a *Value) *Value {
 	out := tensor.NewUninit(n, d) // every element written below
 	argmax := make([]int32, n*d)
 	ad, od := a.Data.Data(), out.Data()
+	// Copy-first fold with the shared arg-tracking max kernel, so the
+	// middle reduction ties, NaNs and signed zeros resolve exactly like the
+	// scatter and fused aggregation paths (builtin max semantics, first
+	// occurrence wins).
 	tensor.ParallelForGrain(n, tensor.GrainForCost(g*d), func(is, ie int) {
 		for i := is; i < ie; i++ {
 			base := i * g * d
 			copy(od[i*d:(i+1)*d], ad[base:base+d])
 			for j := 1; j < g; j++ {
-				for k := 0; k < d; k++ {
-					if v := ad[base+j*d+k]; v > od[i*d+k] {
-						od[i*d+k] = v
-						argmax[i*d+k] = int32(j)
-					}
-				}
+				tensor.MaxArgUnrolled(od[i*d:(i+1)*d], argmax[i*d:(i+1)*d], ad[base+j*d:base+(j+1)*d], int32(j))
 			}
 		}
 	})

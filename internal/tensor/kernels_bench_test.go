@@ -30,6 +30,27 @@ func powerLawIndex(rng *RNG, n, numOut int) []int32 {
 	return idx
 }
 
+// seedMaxLoop and seedMinLoop replicate the pre-overhaul compare-select
+// kernels: strict branchy per-element loops, the shape that mispredicts on
+// power-law aggregation inputs. The current MaxUnrolled/MinUnrolled compile
+// to branchless builtin max/min, so the seed rows must keep their own copy
+// to stay historical.
+func seedMaxLoop(dst, x []float32) {
+	for i := 0; i < len(dst); i++ {
+		if x[i] > dst[i] {
+			dst[i] = x[i]
+		}
+	}
+}
+
+func seedMinLoop(dst, x []float32) {
+	for i := 0; i < len(dst); i++ {
+		if x[i] < dst[i] {
+			dst[i] = x[i]
+		}
+	}
+}
+
 // seedScatter replicates the pre-overhaul scatter kernel: zero/Inf-filled
 // fresh output, one serial pass over the index with incremental validation.
 func seedScatter(values *Tensor, index []int32, numOut int, op ReduceOp) *Tensor {
@@ -50,9 +71,9 @@ func seedScatter(values *Tensor, index []int32, numOut int, op ReduceOp) *Tensor
 		case ReduceSum, ReduceMean:
 			AddUnrolled(drow, srow)
 		case ReduceMax:
-			MaxUnrolled(drow, srow)
+			seedMaxLoop(drow, srow)
 		case ReduceMin:
-			MinUnrolled(drow, srow)
+			seedMinLoop(drow, srow)
 		}
 	}
 	for r := 0; r < numOut; r++ {
@@ -127,9 +148,40 @@ func BenchmarkKernelMatMul(b *testing.B) {
 	})
 }
 
-func benchScatterOp(b *testing.B, op ReduceOp) {
+// BenchmarkKernelMatMulWide uses a 2 MiB right operand (1024x512 floats),
+// above the 1 MiB blocking threshold, so its opt row actually exercises the
+// k-blocked path — the 256x1024x128 shape above stays under the threshold
+// and runs unblocked on both rows.
+func BenchmarkKernelMatMulWide(b *testing.B) {
+	rng := NewRNG(1)
+	m, k, n := 256, 1024, 512
+	a := RandN(rng, 1, m, k)
+	w := RandN(rng, 1, k, n)
+	b.Run("seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seedMatMul(a, w)
+		}
+	})
+	b.Run("opt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Recycle(a.MatMul(w))
+		}
+	})
+	b.Run("opt-noblock", func(b *testing.B) {
+		SetBlockedMatMul(false)
+		defer SetBlockedMatMul(true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Recycle(a.MatMul(w))
+		}
+	})
+}
+
+func benchScatterOp(b *testing.B, op ReduceOp, dim int) {
 	rng := NewRNG(2)
-	numOut, edges, dim := 20000, 120000, 64
+	numOut, edges := 20000, 120000
 	index := powerLawIndex(rng, edges, numOut)
 	values := RandN(rng, 1, edges, dim)
 	b.Run("seed", func(b *testing.B) {
@@ -146,9 +198,103 @@ func benchScatterOp(b *testing.B, op ReduceOp) {
 	})
 }
 
-func BenchmarkKernelScatterSum(b *testing.B)  { benchScatterOp(b, ReduceSum) }
-func BenchmarkKernelScatterMean(b *testing.B) { benchScatterOp(b, ReduceMean) }
-func BenchmarkKernelScatterMax(b *testing.B)  { benchScatterOp(b, ReduceMax) }
+func BenchmarkKernelScatterSum(b *testing.B)  { benchScatterOp(b, ReduceSum, 64) }
+func BenchmarkKernelScatterMean(b *testing.B) { benchScatterOp(b, ReduceMean, 64) }
+func BenchmarkKernelScatterMax(b *testing.B)  { benchScatterOp(b, ReduceMax, 64) }
+
+// Wide-feature-dim rows. Scatter deliberately does not tile (both tiled
+// structures measured 2-3x slower than the single sequential index scan on
+// this machine — see the comment in scatter()); these rows exist so that
+// regression stays visible if anyone re-introduces tiling here.
+func BenchmarkKernelScatterSumWide(b *testing.B) { benchScatterOp(b, ReduceSum, 256) }
+func BenchmarkKernelScatterMaxWide(b *testing.B) { benchScatterOp(b, ReduceMax, 256) }
+
+// seedScatterSoftmax replicates a pre-overhaul scatter_softmax: serial
+// three-pass (max, exp+sum, normalise) with fresh allocations.
+func seedScatterSoftmax(values *Tensor, index []int32, numOut int) *Tensor {
+	c := values.Cols()
+	out := New(values.Rows(), c)
+	maxes := Full(float32(math.Inf(-1)), numOut, c)
+	sums := New(numOut, c)
+	md, sd := maxes.data, sums.data
+	for i, dst := range index {
+		drow := md[int(dst)*c : int(dst+1)*c]
+		for j, v := range values.data[i*c : (i+1)*c] {
+			if v > drow[j] {
+				drow[j] = v
+			}
+		}
+	}
+	for i, dst := range index {
+		base := int(dst) * c
+		for j, v := range values.data[i*c : (i+1)*c] {
+			e := float32(math.Exp(float64(v - md[base+j])))
+			out.data[i*c+j] = e
+			sd[base+j] += e
+		}
+	}
+	for i, dst := range index {
+		base := int(dst) * c
+		for j := 0; j < c; j++ {
+			if sd[base+j] != 0 {
+				out.data[i*c+j] /= sd[base+j]
+			}
+		}
+	}
+	return out
+}
+
+func BenchmarkKernelScatterSoftmax(b *testing.B) {
+	rng := NewRNG(4)
+	numOut, edges, dim := 20000, 120000, 64
+	index := powerLawIndex(rng, edges, numOut)
+	values := RandN(rng, 1, edges, dim)
+	b.Run("seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seedScatterSoftmax(values, index, numOut)
+		}
+	})
+	b.Run("opt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Recycle(ScatterSoftmax(values, index, numOut))
+		}
+	})
+}
+
+// seedReduceMiddle replicates a pre-overhaul [N, G, D] -> [N, D] max
+// reduction: serial copy-first fold with the branchy compare loop.
+func seedReduceMiddle(t *Tensor) *Tensor {
+	n, g, d := t.Dim(0), t.Dim(1), t.Dim(2)
+	out := New(n, d)
+	for i := 0; i < n; i++ {
+		base := i * g * d
+		copy(out.data[i*d:(i+1)*d], t.data[base:base+d])
+		for j := 1; j < g; j++ {
+			seedMaxLoop(out.data[i*d:(i+1)*d], t.data[base+j*d:base+(j+1)*d])
+		}
+	}
+	return out
+}
+
+func BenchmarkKernelReduceMiddle(b *testing.B) {
+	rng := NewRNG(6)
+	n, g, d := 20000, 8, 64
+	t := RandN(rng, 1, n, g, d)
+	b.Run("seed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seedReduceMiddle(t)
+		}
+	})
+	b.Run("opt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Recycle(t.ReduceMiddle(ReduceMax))
+		}
+	})
+}
 
 func BenchmarkKernelGather(b *testing.B) {
 	rng := NewRNG(3)

@@ -34,13 +34,15 @@ func ScatterMean(values *Tensor, index []int32, numOut int) *Tensor {
 }
 
 // ScatterMax reduces with elementwise max; rows with no contributions are
-// zero (not -Inf), matching pytorch_scatter's composite behaviour.
+// zero (not -Inf), matching pytorch_scatter's composite behaviour. The
+// reduction uses the builtin max semantics: a NaN contribution makes the
+// element NaN, and +0 orders above -0.
 func ScatterMax(values *Tensor, index []int32, numOut int) *Tensor {
 	return scatter(values, index, numOut, ReduceMax)
 }
 
 // ScatterMin reduces with elementwise min; rows with no contributions are
-// zero.
+// zero. NaN propagates and -0 orders below +0, as with the builtin min.
 func ScatterMin(values *Tensor, index []int32, numOut int) *Tensor {
 	return scatter(values, index, numOut, ReduceMin)
 }
@@ -66,44 +68,29 @@ func scatter(values *Tensor, index []int32, numOut int, op ReduceOp) *Tensor {
 	c := values.Cols()
 	counts := scatterCountsChecked(index, numOut)
 	out := NewUninit(numOut, c)
-	init := float32(0)
-	switch op {
-	case ReduceMax:
-		init = float32(math.Inf(-1))
-	case ReduceMin:
-		init = float32(math.Inf(1))
-	}
 	// Writes are partitioned by destination row: each worker owns a
 	// contiguous [lo, hi) range of output rows, scans the (cheap, int32)
 	// index array, and accumulates only its own rows — disjoint writes, no
 	// atomics. The ranges are weighted by contribution counts so a hub
 	// destination cannot serialise a whole chunk.
+	//
+	// This path deliberately ignores the FeatureTile knob: scatter's source
+	// stream is sequential and prefetch-bound, and both tiled structures we
+	// measured — re-scanning the index once per column tile, and grouping
+	// edges per destination with a counting sort so tiles fold per
+	// destination — lose 2-3x to this single sequential scan on the bench
+	// machine (the strided re-reads break the stream, and the 260 MiB LLC
+	// absorbs the output working set the tiles were meant to shrink).
+	// Tiling pays where contributions are already grouped per destination:
+	// the engine's fused CSR aggregation kernels.
+	// TestScatterExtremeTilingBitExact pins that the knob setting never
+	// changes scatter output.
 	prefix := make([]int64, numOut+1)
 	for d, n := range counts {
 		prefix[d+1] = prefix[d] + int64(n)
 	}
 	ParallelForWeighted(numOut, prefix, c, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			row := out.data[r*c : (r+1)*c]
-			for j := range row {
-				row[j] = init
-			}
-		}
-		for i, dst := range index {
-			if int(dst) < lo || int(dst) >= hi {
-				continue
-			}
-			drow := out.data[int(dst)*c : int(dst+1)*c]
-			srow := values.data[i*c : (i+1)*c]
-			switch op {
-			case ReduceSum, ReduceMean:
-				AddUnrolled(drow, srow)
-			case ReduceMax:
-				MaxUnrolled(drow, srow)
-			case ReduceMin:
-				MinUnrolled(drow, srow)
-			}
-		}
+		scatterPass(values, index, out, op, lo, hi, 0, c)
 		for r := lo; r < hi; r++ {
 			drow := out.data[r*c : (r+1)*c]
 			if counts[r] == 0 {
@@ -119,6 +106,52 @@ func scatter(values *Tensor, index []int32, numOut int, op ReduceOp) *Tensor {
 		}
 	})
 	return out
+}
+
+// scatterPass initialises and accumulates columns [j0, j1) of output rows
+// [lo, hi). The reduce-op dispatch is hoisted out of the edge loop so each
+// pass runs a single tight accumulate kernel. The ±Inf extreme identities
+// are transparent under builtin max/min (any value, including NaN,
+// replaces them), so no first-contribution special case is needed.
+func scatterPass(values *Tensor, index []int32, out *Tensor, op ReduceOp, lo, hi, j0, j1 int) {
+	c := values.Cols()
+	init := float32(0)
+	switch op {
+	case ReduceMax:
+		init = float32(math.Inf(-1))
+	case ReduceMin:
+		init = float32(math.Inf(1))
+	}
+	for r := lo; r < hi; r++ {
+		row := out.data[r*c+j0 : r*c+j1]
+		for j := range row {
+			row[j] = init
+		}
+	}
+	vd := values.data
+	switch op {
+	case ReduceSum, ReduceMean:
+		for i, dst := range index {
+			if int(dst) < lo || int(dst) >= hi {
+				continue
+			}
+			AddUnrolled(out.data[int(dst)*c+j0:int(dst)*c+j1], vd[i*c+j0:i*c+j1])
+		}
+	case ReduceMax:
+		for i, dst := range index {
+			if int(dst) < lo || int(dst) >= hi {
+				continue
+			}
+			MaxUnrolled(out.data[int(dst)*c+j0:int(dst)*c+j1], vd[i*c+j0:i*c+j1])
+		}
+	case ReduceMin:
+		for i, dst := range index {
+			if int(dst) < lo || int(dst) >= hi {
+				continue
+			}
+			MinUnrolled(out.data[int(dst)*c+j0:int(dst)*c+j1], vd[i*c+j0:i*c+j1])
+		}
+	}
 }
 
 // ScatterSoftmax normalises values so that, within each group of rows

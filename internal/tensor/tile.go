@@ -1,0 +1,61 @@
+package tensor
+
+import "sync/atomic"
+
+// Feature-dimension tiling (the FeatGraph-style co-optimisation): the fused
+// aggregation kernels can block their inner loop over feature columns so the
+// accumulator slice of a destination row stays L1-resident across that
+// destination's whole edge list. Tiling never reorders the per-column fold,
+// so tiled and untiled results are bitwise identical.
+//
+// The lever is a tile width in float32 columns. A kernel over feature width
+// dim tiles only when dim >= 2*width (below that a row already fits the
+// working set and the extra edge-list passes are pure overhead), and only
+// for destinations with enough edges to amortise the pass (see the kernel
+// call sites).
+//
+// Tiling is OFF by default. On the bench machine (48 KiB L1, 2 MiB L2,
+// 260 MiB LLC) it lost 2-25% at feature dims 256 and 1024 in every kernel
+// family: the accumulator row is never the bottleneck there, while
+// re-gathering each destination's random source rows once per tile breaks
+// the memory stream (BenchmarkFusedAgg*Wide/opt-tile records the cost).
+// The lever exists for small-cache targets where a wide destination row
+// genuinely thrashes; enable with SetFeatureTile(64) and re-measure via
+// `make bench-kernels-diff`.
+
+// defaultFeatureTile is the default column tile width: 0, tiling disabled
+// (see above). When enabled, 64 floats = 256 bytes = 4 cache lines is the
+// natural width: a tile pass touches one-or-few lines per random source row
+// while the destination tile stays in registers/L1.
+const defaultFeatureTile = 0
+
+var featureTile atomic.Int32
+
+func init() { featureTile.Store(defaultFeatureTile) }
+
+// SetFeatureTile sets the column tile width for the feature-dim-tiled
+// kernels. w <= 0 disables tiling; w < 8 is rounded up to 8 (the SIMD
+// kernel width) so tile slices never degrade the unrolled inner loops to
+// their scalar tails.
+func SetFeatureTile(w int) {
+	if w > 0 && w < 8 {
+		w = 8
+	}
+	if w <= 0 {
+		w = 0
+	}
+	featureTile.Store(int32(w))
+}
+
+// FeatureTile returns the configured tile width; 0 means tiling is off.
+func FeatureTile() int { return int(featureTile.Load()) }
+
+// FeatureTileFor returns the tile width to use for a kernel whose feature
+// width is dim, or 0 if that kernel should not tile.
+func FeatureTileFor(dim int) int {
+	w := int(featureTile.Load())
+	if w <= 0 || dim < 2*w {
+		return 0
+	}
+	return w
+}
