@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci build test race chaos trace-smoke serve-smoke vet fmt bench bench-comm \
-	bench-kernels-diff bench-smoke
+.PHONY: ci build test race chaos trace-smoke serve-smoke sampler-smoke vet fmt \
+	bench bench-comm bench-kernels-diff bench-smoke bench-sampler
 
-ci: vet fmt race chaos trace-smoke serve-smoke test bench-smoke
+ci: vet fmt race chaos trace-smoke serve-smoke sampler-smoke test bench-smoke
 
 build:
 	$(GO) build ./...
@@ -18,14 +18,16 @@ test:
 race: chaos
 	$(GO) test -race ./internal/tensor/... ./internal/engine/... \
 		./internal/rpc/... ./internal/collective/... ./internal/cluster/... \
-		./internal/metrics/... ./internal/trace/... ./internal/serve/...
+		./internal/metrics/... ./internal/trace/... ./internal/serve/... \
+		./internal/store/...
 
 # Fault-injection chaos tests, uncached and under the race detector: crash a
 # worker mid-epoch, expire receive deadlines, inject drops/dups/delays, and
 # prove every survivor fails fast with a typed error instead of hanging.
 chaos:
-	$(GO) test -race -count=1 -run 'FailFast|Fault|Abort|Timeout|Duplicate|RecvTimeout' \
-		./internal/rpc/... ./internal/collective/... ./internal/cluster/...
+	$(GO) test -race -count=1 -run 'FailFast|Fault|Abort|Timeout|Duplicate|RecvTimeout|Cancel' \
+		./internal/rpc/... ./internal/collective/... ./internal/cluster/... \
+		./internal/store/...
 
 # Observability end-to-end smoke: a multi-worker loopback epoch with
 # tracing and metrics on must yield a parseable Chrome trace with epoch,
@@ -40,6 +42,15 @@ trace-smoke:
 # JSON with cache hits and serve spans visible on the observability surface.
 serve-smoke:
 	$(GO) test -count=1 -run 'ServeSmoke' ./internal/serve/...
+
+# Data-plane end-to-end smoke: a multi-rank loopback mini-batch run with
+# prefetch depth 2 must train, populate the sample_wait_ns histogram, and
+# spend far less time blocked on the sampler than the epochs took (prefetch
+# overlaps training); plus the store-level overlap guard on a
+# simulated-latency link (depth 2 must beat depth 0 by a wide margin).
+sampler-smoke:
+	$(GO) test -count=1 -run 'SamplerSmoke|PrefetchOverlapBeatsSync' \
+		./internal/cluster/... ./internal/store/...
 
 vet:
 	$(GO) vet ./...
@@ -95,6 +106,21 @@ bench-smoke:
 		> /tmp/bench_kernels_smoke.txt 2>&1 || { cat /tmp/bench_kernels_smoke.txt; exit 1; }
 	$(GO) run ./cmd/benchdiff -max-regress 4.0 \
 		-write-latest /tmp/bench_kernels_smoke.latest.json /tmp/bench_kernels_smoke.txt
+
+# Prefetch-overlap benchmark over the simulated-latency store link; writes a
+# machine-readable snapshot to BENCH_sampler.latest.json (recorded numbers
+# live in BENCH_sampler.json). Same ns/op token scan as `bench`.
+bench-sampler:
+	@$(GO) test -run xxx -bench 'PrefetchOverlap' -benchtime 5x ./internal/store/ \
+		| tee /tmp/bench_sampler.txt
+	@awk 'BEGIN { printf "{\n  \"benchmarks\": [\n"; first = 1 } \
+	/^Benchmark/ { ns = ""; \
+		for (i = 2; i < NF; i++) if ($$(i+1) == "ns/op") ns = $$i; \
+		if (ns == "") next; \
+		if (!first) printf ",\n"; first = 0; \
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s}", $$1, ns } \
+	END { printf "\n  ]\n}\n" }' /tmp/bench_sampler.txt > BENCH_sampler.latest.json
+	@echo "wrote BENCH_sampler.latest.json"
 
 # Codec microbenchmarks; appends a machine-readable snapshot to
 # BENCH_comm.json (see that file for the recorded before/after numbers).

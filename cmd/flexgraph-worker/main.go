@@ -36,6 +36,12 @@ func main() {
 	epochs := flag.Int("epochs", 5, "training epochs")
 	hidden := flag.Int("hidden", 16, "hidden width")
 	pipeline := flag.Bool("pipeline", true, "enable partial aggregation + pipeline processing")
+	batch := flag.Int("batch", 0,
+		"mini-batch size: > 0 switches from whole-graph epochs to mini-batch rounds over each worker's partition, materialised by the store sampler (0 = whole-graph)")
+	prefetch := flag.Int("prefetch", 2,
+		"sampler prefetch depth in mini-batch mode: how many materialised batches may queue ahead of training (0 = sample synchronously)")
+	samplers := flag.Int("samplers", 2,
+		"concurrent sampler workers in mini-batch mode, independent of the trainer's kernel parallelism")
 	seed := flag.Uint64("seed", 1, "random seed (must match across workers)")
 	gradSync := flag.String("gradsync", "ring", "gradient all-reduce: ring (≤2·|payload| bytes/worker) or broadcast ((k−1)·|payload|)")
 	ringChunk := flag.Int("ringchunk", 0, "ring all-reduce segment size in float32 words (0 = default)")
@@ -129,6 +135,14 @@ func main() {
 		log.Fatalf("mesh connect: %v", err)
 	}
 
+	var mb *cluster.MiniBatchConfig
+	if *batch > 0 {
+		mb = &cluster.MiniBatchConfig{
+			BatchSize:      *batch,
+			PrefetchDepth:  *prefetch,
+			SamplerWorkers: *samplers,
+		}
+	}
 	cfg := cluster.Config{
 		NumWorkers:  len(addrs),
 		Pipeline:    *pipeline,
@@ -140,6 +154,7 @@ func main() {
 		RecvTimeout: *recvTimeout,
 		Tracer:      tracer,
 		Metrics:     reg,
+		MiniBatch:   mb,
 		OnEpoch: func(epoch int, loss float32, balance *flexgraph.BalanceReport) {
 			// Rank 0 prints the Fig. 14-style per-rank stage table each
 			// epoch: every rank's stage seconds ride the gradient fence,

@@ -2,6 +2,7 @@ package flexgraph
 
 import (
 	"repro/internal/engine"
+	"repro/internal/store"
 	"repro/internal/tensor"
 )
 
@@ -78,4 +79,49 @@ func (c KernelConfig) Apply() {
 	engine.SetEdgeBalancedSplit(c.EdgeBalancedSplit)
 	engine.SetDegreeBuckets(c.HubDegree, c.LeafDegree)
 	tensor.SetFeatureTile(c.FeatureTile)
+}
+
+// PipelineConfig is KernelConfig's data-plane sibling: where KernelConfig
+// tunes how compute kernels run, PipelineConfig tunes how training data
+// reaches them — batch granularity, how far the sampler prefetches ahead of
+// the trainer, how many sampler goroutines materialise batches, and how
+// many requests a remote store keeps in flight. Unlike KernelConfig it is
+// not process-global: pass it where a pipeline is built (e.g. via
+// MiniBatch to ClusterConfig.MiniBatch, or field-by-field into
+// SamplerOptions / RemoteStoreOptions).
+type PipelineConfig struct {
+	// BatchSize is the number of target vertices per mini-batch round.
+	BatchSize int
+	// PrefetchDepth is how many materialised batches may queue ready ahead
+	// of the trainer; 0 samples synchronously inside the training loop.
+	PrefetchDepth int
+	// SamplerWorkers is the number of concurrent sampler goroutines
+	// materialising batches (<= 0 selects 1), independent of the trainer's
+	// kernel parallelism.
+	SamplerWorkers int
+	// RequestWindow bounds a remote store's in-flight requests (<= 0
+	// selects the default window).
+	RequestWindow int
+}
+
+// DefaultPipelineConfig returns the defaults the data plane would pick on
+// its own: 128-vertex batches, prefetch depth 2 with 2 sampler workers, and
+// the remote store's default request window.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		BatchSize:      128,
+		PrefetchDepth:  2,
+		SamplerWorkers: 2,
+		RequestWindow:  store.DefaultRequestWindow,
+	}
+}
+
+// MiniBatch converts the pipeline configuration into the cluster's
+// mini-batch mode config, for ClusterConfig.MiniBatch.
+func (c PipelineConfig) MiniBatch() *MiniBatchConfig {
+	return &MiniBatchConfig{
+		BatchSize:      c.BatchSize,
+		PrefetchDepth:  c.PrefetchDepth,
+		SamplerWorkers: c.SamplerWorkers,
+	}
 }

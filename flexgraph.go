@@ -46,6 +46,7 @@ import (
 	"repro/internal/nau"
 	"repro/internal/nn"
 	"repro/internal/partition"
+	"repro/internal/store"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -163,6 +164,63 @@ type (
 	PinSageConfig = models.PinSageConfig
 	// MAGNNConfig bounds MAGNN's metapath search.
 	MAGNNConfig = models.MAGNNConfig
+	// MiniBatchConfig switches distributed training to mini-batch rounds
+	// with a prefetching sampler (ClusterConfig.MiniBatch).
+	MiniBatchConfig = cluster.MiniBatchConfig
+)
+
+// Data-plane types: the store interfaces decouple *what* the trainer reads
+// (topology queries, feature rows) from *where* it lives (in-memory shard
+// or a remote rank), and the Sampler turns them into a prefetched stream of
+// self-contained training batches.
+type (
+	// GraphStore serves topology and neighbor-selection queries.
+	GraphStore = store.GraphStore
+	// FeatureStore serves vertex feature/label/mask slices.
+	FeatureStore = store.FeatureStore
+	// LocalStore implements both stores in memory over a Graph.
+	LocalStore = store.Local
+	// LocalStoreConfig configures NewLocalStore.
+	LocalStoreConfig = store.LocalConfig
+	// RemoteStore speaks the store protocol to a peer rank with a
+	// pipelined request window.
+	RemoteStore = store.Remote
+	// RemoteStoreOptions configures NewRemoteStore.
+	RemoteStoreOptions = store.RemoteOptions
+	// StoreServer answers store requests over a transport from a backing
+	// local store.
+	StoreServer = store.Server
+	// StoreServerOptions configures NewStoreServer.
+	StoreServerOptions = store.ServerOptions
+	// Sampler materialises training batches through the stores, optionally
+	// prefetching ahead of the trainer.
+	Sampler = store.Sampler
+	// SamplerOptions configures NewSampler.
+	SamplerOptions = store.SamplerOptions
+	// SamplerStream delivers one epoch's batches in schedule order.
+	SamplerStream = store.Stream
+	// SampleBatch is one self-contained materialised training batch.
+	SampleBatch = store.Batch
+	// SampleLayerPlan is one model layer's share of a materialised batch.
+	SampleLayerPlan = store.LayerPlan
+	// FetchError is a typed store failure naming the operation and the
+	// vertex count in flight; match with errors.As.
+	FetchError = store.FetchError
+)
+
+// Data-plane constructors.
+var (
+	// NewLocalStore builds an in-memory store over a graph and features.
+	NewLocalStore = store.NewLocal
+	// NewRemoteStore builds a pipelined remote store over a transport.
+	NewRemoteStore = store.NewRemote
+	// NewStoreServer serves a local store to remote ranks.
+	NewStoreServer = store.NewServer
+	// NewSampler builds a prefetching batch sampler over the given stores.
+	NewSampler = store.NewSampler
+	// ForwardBatch runs a NAU model over a layered batch with autograd
+	// intact, returning one logits row per batch root.
+	ForwardBatch = store.Forward
 )
 
 // Collective-communication plane (gradient synchronisation + traffic
@@ -213,6 +271,7 @@ const (
 	TrafficBarrier  = metrics.ClassBarrier
 	TrafficPlan     = metrics.ClassPlan
 	TrafficAbort    = metrics.ClassAbort
+	TrafficSample   = metrics.ClassSample
 )
 
 // NewRNG returns a deterministic random generator.
@@ -372,10 +431,11 @@ type (
 
 // Span categories on TraceSpan.Cat (timeline lanes in the Chrome export).
 const (
-	TraceCatEpoch = trace.CatEpoch
-	TraceCatStage = trace.CatStage
-	TraceCatFence = trace.CatFence
-	TraceCatComm  = trace.CatComm
+	TraceCatEpoch  = trace.CatEpoch
+	TraceCatStage  = trace.CatStage
+	TraceCatFence  = trace.CatFence
+	TraceCatComm   = trace.CatComm
+	TraceCatSample = trace.CatSample
 )
 
 var (

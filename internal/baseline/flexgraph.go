@@ -62,7 +62,8 @@ func (f *FlexGraph) Trainer(d *dataset.Dataset, spec Spec) (*nau.Trainer, error)
 	default:
 		return nil, ErrUnsupported
 	}
-	tr := nau.NewTrainer(m, d.Graph, d.Features, d.Labels, d.TrainMask, spec.Seed)
+	tr := nau.NewTrainerWith(m,
+		nau.TrainerOptions{Graph: d.Graph, Features: d.Features, Labels: d.Labels, TrainMask: d.TrainMask, Seed: spec.Seed})
 	tr.Engine = engine.New(f.Strategy)
 	f.trainers[key] = tr
 	return tr, nil

@@ -1,11 +1,17 @@
 package baseline
 
 import (
+	"context"
+	"errors"
+	"io"
+	"sort"
+
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/hdg"
 	"repro/internal/nn"
+	"repro/internal/store"
 	"repro/internal/tensor"
 )
 
@@ -16,6 +22,13 @@ import (
 // graphs and graphs with power-law degree skew the 2-hop expansion
 // approaches the whole graph per batch, which is the "tremendous
 // computation and memory overhead" of §7.1.
+//
+// Batches are materialised through the store data plane (a store.Sampler
+// over an in-memory store.Local), so the sampling/gather side of the
+// executor can prefetch ahead of training. With PrefetchDepth 0 the sampler
+// is fully synchronous and the executor behaves exactly like the historical
+// fused implementation; deeper settings change only when batches are built,
+// never what they contain.
 //
 // The two systems differ where the paper says they differ:
 //   - Euler's sampling engine runs walks in parallel (fast PinSage) but its
@@ -28,6 +41,13 @@ type MiniBatch struct {
 	System string
 	// BatchSize overrides the system default when positive.
 	BatchSize int
+	// PrefetchDepth is the store sampler's prefetch depth: how many
+	// materialised batches may queue ahead of training. 0 (the default)
+	// runs sampling synchronously inside the training loop.
+	PrefetchDepth int
+	// SamplerWorkers is the number of concurrent sampler workers when
+	// PrefetchDepth > 0 (<= 0 selects 1).
+	SamplerWorkers int
 }
 
 // NewEuler returns the Euler-flavoured mini-batch executor.
@@ -74,6 +94,16 @@ func (m *MiniBatch) batches(n int) [][]graph.VertexID {
 	return out
 }
 
+// sampler builds the data-plane pipeline for one epoch over the dataset.
+func (m *MiniBatch) sampler(d *dataset.Dataset, opts store.SamplerOptions) *store.Sampler {
+	local := store.NewLocal(store.LocalConfig{
+		Graph: d.Graph, Features: d.Features, Labels: d.Labels, TrainMask: d.TrainMask,
+	})
+	opts.Depth = m.PrefetchDepth
+	opts.Workers = m.SamplerWorkers
+	return store.NewSampler(local, local, opts)
+}
+
 func (m *MiniBatch) gcn(d *dataset.Dataset, spec Spec) (float32, error) {
 	in, classes := specDims(d)
 	rng := tensor.NewRNG(spec.Seed)
@@ -86,38 +116,44 @@ func (m *MiniBatch) gcn(d *dataset.Dataset, spec Spec) (float32, error) {
 		dupFactor = 3
 	}
 
+	// Full 2-hop neighborhood expansion (2 GNN layers), materialised by the
+	// store sampler.
+	st := m.sampler(d, store.SamplerOptions{Hops: 2}).
+		Epoch(context.Background(), 0, m.batches(d.Graph.NumVertices()))
+	defer st.Close()
+
 	var lastLoss float32
-	for _, batch := range m.batches(d.Graph.NumVertices()) {
-		// Full 2-hop neighborhood expansion (2 GNN layers). The budget is
-		// checked against the expansion estimate before paying for the
-		// subgraph conversion.
-		expanded := expandKHop(d.Graph, batch, 2)
-		need := int64(len(expanded))*int64(in)*4 +
-			expansionEdgeEstimate(d.Graph, expanded)*int64(in+spec.Hidden)*4*dupFactor
+	for {
+		b, err := st.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		// The budget is checked against the expansion estimate, as the
+		// fused executor did before paying for the subgraph conversion.
+		need := int64(len(b.In))*int64(in)*4 +
+			expansionEdgeEstimate(d.Graph, b.In)*int64(in+spec.Hidden)*4*dupFactor
 		if err := checkBudget(need, spec.MemBudget); err != nil {
 			return 0, err
 		}
-		sub, remap := induceSubgraph(d.Graph, expanded)
-		feats := gatherRows(d.Features, expanded)
-		adj := engine.FromGraphInEdges(sub)
 
-		labels := make([]int32, len(expanded))
-		mask := make([]bool, len(expanded))
-		for i, v := range expanded {
-			labels[i] = d.Labels[v]
-		}
-		for _, v := range batch {
-			if d.TrainMask[v] {
-				mask[remap[v]] = true
+		// Only batch targets contribute to the loss; the rest of the
+		// expansion is dependency closure.
+		mask := make([]bool, len(b.In))
+		for i := range b.Roots {
+			if b.Mask[b.RootRows[i]] {
+				mask[b.RootRows[i]] = true
 			}
 		}
 
-		h0 := nn.Constant(feats)
-		a1 := engine.ScatterAggregate(adj, h0, tensor.ReduceSum)
+		h0 := nn.Constant(b.Feats)
+		a1 := engine.ScatterAggregate(b.Adj, h0, tensor.ReduceSum)
 		h1 := nn.ReLU(net.l1.Forward(nn.Add(h0, a1)))
-		a2 := engine.ScatterAggregate(adj, h1, tensor.ReduceSum)
+		a2 := engine.ScatterAggregate(b.Adj, h1, tensor.ReduceSum)
 		logits := net.l2.Forward(nn.Add(h1, a2))
-		lastLoss = net.step(logits, labels, mask)
+		lastLoss = net.step(logits, b.Labels, mask)
 	}
 	return lastLoss, nil
 }
@@ -140,20 +176,31 @@ func (m *MiniBatch) pinsage(d *dataset.Dataset, spec Spec) (float32, error) {
 		distDGLRecs = all
 	}
 
-	var lastLoss float32
-	for _, batch := range m.batches(d.Graph.NumVertices()) {
-		// Neighbor selection for the batch.
+	batches := m.batches(d.Graph.NumVertices())
+
+	// Euler's walk seeds come from the executor's shared RNG. The fused
+	// loop drew them per batch in schedule order; prefetch materialises
+	// batches out of order, so draw the whole schedule up front — the same
+	// values in the same order, now batch-composition independent.
+	var seeds [][]uint64
+	if m.System == "Euler" {
+		seeds = make([][]uint64, len(batches))
+		for bi, batch := range batches {
+			seeds[bi] = make([]uint64, len(batch))
+			for i := range seeds[bi] {
+				seeds[bi][i] = rng.Uint64()
+			}
+		}
+	}
+
+	sel := func(_, index int, batch []graph.VertexID) ([]hdg.Record, error) {
 		var recs []hdg.Record
 		if m.System == "Euler" {
 			// Euler's parallel graph sampling query engine (§7.1).
 			perRoot := make([][]hdg.Record, len(batch))
-			seeds := make([]uint64, len(batch))
-			for i := range seeds {
-				seeds[i] = rng.Uint64()
-			}
 			tensor.ParallelFor(len(batch), func(s, e int) {
 				for i := s; i < e; i++ {
-					wrng := tensor.NewRNG(seeds[i])
+					wrng := tensor.NewRNG(seeds[index][i])
 					for _, u := range d.Graph.TopKVisited(wrng, batch[i], cfg.NumWalks, cfg.Hops, cfg.TopK) {
 						perRoot[i] = append(perRoot[i], hdg.Record{Root: batch[i], Nei: []graph.VertexID{u}, Type: 0})
 					}
@@ -162,40 +209,51 @@ func (m *MiniBatch) pinsage(d *dataset.Dataset, spec Spec) (float32, error) {
 			for _, rs := range perRoot {
 				recs = append(recs, rs...)
 			}
-		} else {
-			inBatch := make(map[graph.VertexID]bool, len(batch))
-			for _, v := range batch {
-				inBatch[v] = true
-			}
-			for _, r := range distDGLRecs {
-				if inBatch[r.Root] {
-					recs = append(recs, r)
-				}
+			return recs, nil
+		}
+		inBatch := make(map[graph.VertexID]bool, len(batch))
+		for _, v := range batch {
+			inBatch[v] = true
+		}
+		for _, r := range distDGLRecs {
+			if inBatch[r.Root] {
+				recs = append(recs, r)
 			}
 		}
-		h, err := hdg.Build(hdg.NewSchemaTree("vertex"), batch, recs)
+		return recs, nil
+	}
+
+	st := m.sampler(d, store.SamplerOptions{
+		Layers: 1, Schema: hdg.NewSchemaTree("vertex"), Select: sel,
+	}).Epoch(context.Background(), 0, batches)
+	defer st.Close()
+
+	var lastLoss float32
+	for {
+		b, err := st.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
 		if err != nil {
 			return 0, err
 		}
-		adj := engine.FromHDGFlat(h, d.Graph.NumVertices())
+		// The flat root->leaves adjacency over the batch universe: leaf
+		// indices are universe rows, per-instance leaf order unchanged, so
+		// aggregation reduces in exactly the fused executor's order.
+		adj := engine.FromHDGFlat(b.Sub, len(b.In))
 		need := adj.NumEdges() * int64(in+spec.Hidden) * 4
 		if err := checkBudget(need, spec.MemBudget); err != nil {
 			return 0, err
 		}
 
-		labels := make([]int32, len(batch))
-		mask := make([]bool, len(batch))
-		for i, v := range batch {
-			labels[i] = d.Labels[v]
-			mask[i] = d.TrainMask[v]
-		}
-		batchIdx := make([]int32, len(batch))
-		for i, v := range batch {
-			batchIdx[i] = v
+		nb := len(b.Roots)
+		rootRows := make([]int32, nb)
+		for i := range rootRows {
+			rootRows[i] = int32(i) // roots are the universe prefix
 		}
 
-		h0 := nn.Constant(d.Features)
-		self0 := nn.Gather(h0, batchIdx)
+		h0 := nn.Constant(b.Feats)
+		self0 := nn.Gather(h0, rootRows)
 		a1 := engine.ScatterAggregate(adj, h0, tensor.ReduceSum)
 		h1 := nn.ReLU(net.l1.Forward(nn.Concat(self0, a1)))
 		// Second layer reuses the same selected neighbors at hidden width:
@@ -204,21 +262,27 @@ func (m *MiniBatch) pinsage(d *dataset.Dataset, spec Spec) (float32, error) {
 		// features (the k-hop dependency problem); emulate with a second
 		// gather+aggregate on the first-layer output of neighbors, which
 		// requires computing layer-1 for all leaf vertices too.
-		leafSet := h.LeafVertexSet()
-		leafIdx := make([]int32, len(leafSet))
-		for i, v := range leafSet {
-			leafIdx[i] = v
+		//
+		// Process leaves in global-ID order — the fused executor's
+		// LeafVertexSet order — so gradient accumulation for the shared
+		// layer-1 weights sums rows in the identical sequence. (Universe
+		// row order differs: batch roots occupy the prefix.)
+		rows := b.Sub.LeafVertexSet()
+		leafRows := make([]int32, len(rows))
+		for i, r := range rows {
+			leafRows[i] = int32(r)
 		}
+		sort.Slice(leafRows, func(i, j int) bool { return b.In[leafRows[i]] < b.In[leafRows[j]] })
 		// Layer-1 hidden states for leaves (their own neighborhoods are
 		// approximated by self features — the sampling depth cut-off).
-		selfLeaf := nn.Gather(h0, leafIdx)
+		selfLeaf := nn.Gather(h0, leafRows)
 		hLeaf := nn.ReLU(net.l1.Forward(nn.Concat(selfLeaf, selfLeaf)))
-		// Scatter leaf hidden states into a full-width buffer so the flat
-		// adjacency (indexed by global IDs) can aggregate them.
-		full := nn.ScatterAdd(hLeaf, leafIdx, d.Graph.NumVertices())
+		// Scatter leaf hidden states into a universe-width buffer so the
+		// flat adjacency (indexed by universe rows) can aggregate them.
+		full := nn.ScatterAdd(hLeaf, leafRows, len(b.In))
 		a2 := engine.ScatterAggregate(adj, full, tensor.ReduceSum)
 		logits := net.l2.Forward(nn.Concat(h1, a2))
-		lastLoss = net.step(logits, labels, mask)
+		lastLoss = net.step(logits, b.Labels[:nb], b.Mask[:nb])
 	}
 	return lastLoss, nil
 }

@@ -139,8 +139,9 @@ func Verify(o Options) []Check {
 	factory := func(rng *tensor.RNG) *nau.Model {
 		return modelsGCN(reddit, specGCN.Hidden, rng)
 	}
-	single := nau.NewTrainer(factory(tensor.NewRNG(o.Seed)), reddit.Graph, reddit.Features,
-		reddit.Labels, reddit.TrainMask, o.Seed)
+	single := nau.NewTrainerWith(factory(tensor.NewRNG(o.Seed)),
+		nau.TrainerOptions{Graph: reddit.Graph, Features: reddit.Features,
+			Labels: reddit.Labels, TrainMask: reddit.TrainMask, Seed: o.Seed})
 	refLoss, err := single.Epoch()
 	if err != nil {
 		add("fig15/single-machine", false, "%v", err)

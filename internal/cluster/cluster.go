@@ -16,6 +16,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/partition"
 	"repro/internal/rpc"
+	"repro/internal/store"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -73,6 +74,30 @@ type Config struct {
 	// global loss and the per-rank workload-balance report assembled
 	// inside the gradient-sync fence — the Fig. 14-style straggler table.
 	OnEpoch func(epoch int, loss float32, balance *metrics.BalanceReport)
+	// MiniBatch, when non-nil, switches every worker from whole-graph
+	// epochs to mini-batch rounds over its partition, with batches
+	// materialised by a store.Sampler so sampling/feature gathering can
+	// prefetch ahead of training (sampler and trainer concurrency are
+	// configured independently).
+	MiniBatch *MiniBatchConfig
+}
+
+// MiniBatchConfig configures the cluster's mini-batch training mode. Each
+// worker chops its partition into BatchSize chunks and runs one gradient
+// round per chunk; workers whose partitions are smaller than the largest
+// one pad with empty rounds (zero gradients, zero loss weight) so every
+// rank joins every collective and the replicas stay identical.
+type MiniBatchConfig struct {
+	// BatchSize is the number of target vertices per round (default 128).
+	BatchSize int
+	// PrefetchDepth is the store sampler's prefetch depth: how many
+	// materialised batches may queue ahead of training. 0 runs sampling
+	// synchronously inside the round loop.
+	PrefetchDepth int
+	// SamplerWorkers is the number of concurrent sampler goroutines
+	// materialising batches when PrefetchDepth > 0 (<= 0 selects 1),
+	// independent of the trainer's kernel parallelism.
+	SamplerWorkers int
 }
 
 // ModelFactory builds a fresh model replica; it is called once per worker
@@ -298,6 +323,51 @@ func newWorker(rank int, cfg Config, d *dataset.Dataset, factory ModelFactory, t
 		Bottom:         w,
 	}
 	w.ctx.SetGraphAdjacency(localGraphAdjacency(d.Graph, roots))
+	if mb := cfg.MiniBatch; mb != nil {
+		bs := mb.BatchSize
+		if bs <= 0 {
+			bs = 128
+		}
+		// Every rank must run the same number of gradient rounds, so the
+		// schedule length follows the largest partition; smaller partitions
+		// pad with empty rounds. The counts come from the shared partitioning,
+		// so no collective is needed to agree on the round count.
+		counts := make([]int, cfg.NumWorkers)
+		for _, part := range p.Assign {
+			counts[part]++
+		}
+		maxPart := 0
+		for _, c := range counts {
+			if c > maxPart {
+				maxPart = c
+			}
+		}
+		w.mbBatch = bs
+		w.mbRounds = (maxPart + bs - 1) / bs
+		// The data plane: an in-memory store over the worker's dataset view
+		// plus a prefetching sampler. Layer 0's schema/UDF drive neighbor
+		// selection (all layers of the evaluated models share them); a nil
+		// schema selects DNFA in-edge expansion.
+		layer0 := model.Layers[0]
+		local := store.NewLocal(store.LocalConfig{
+			Graph:     d.Graph,
+			Features:  d.Features,
+			Labels:    d.Labels,
+			TrainMask: d.TrainMask,
+			Schema:    layer0.Schema(),
+			UDF:       layer0.NeighborUDF(),
+		})
+		w.sampler = store.NewSampler(local, local, store.SamplerOptions{
+			Layers:  len(model.Layers),
+			Schema:  layer0.Schema(),
+			Seed:    cfg.Seed,
+			Depth:   mb.PrefetchDepth,
+			Workers: mb.SamplerWorkers,
+			Tracer:  cfg.Tracer,
+			Metrics: cfg.Metrics,
+			Rank:    int32(rank),
+		})
+	}
 	return w, nil
 }
 
@@ -361,11 +431,9 @@ func selectSeeded(g *graph.Graph, schema *hdg.SchemaTree, udf nau.NeighborUDF, r
 	return records
 }
 
-// runEpoch executes one synchronous training epoch, each phase expressed
-// against the collective plane: neighbor selection, the layer-by-layer
-// forward pass (feature sync happens inside AggregateBottom as fenced
-// Exchanges), local loss and backward, the gradient all-reduce, and an
-// optimizer step identical on every worker.
+// runEpoch executes one synchronous training epoch: the shared prologue
+// (stage snapshot, epoch span), the whole-graph or mini-batch epoch body,
+// and the shared epilogue (rank-0 instruments, epoch counter).
 func (w *worker) runEpoch() (loss float32, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -385,6 +453,33 @@ func (w *worker) runEpoch() (loss float32, err error) {
 	// this epoch's per-stage deltas inside the gradient fence.
 	w.stageMark = w.breakdown.StageTimes()
 	defer w.tracer.Begin(int32(w.rank), w.epoch, 0, trace.CatEpoch, "epoch").End()
+
+	var globalLoss float32
+	if w.cfg.MiniBatch != nil {
+		globalLoss, err = w.miniBatchEpoch()
+	} else {
+		globalLoss, err = w.wholeGraphEpoch()
+	}
+	if err != nil {
+		return 0, err
+	}
+	if w.rank == 0 {
+		w.lossGauge.Set(float64(globalLoss))
+		w.epochGauge.Set(time.Since(epochStart).Seconds())
+		w.epochsCtr.Inc()
+		if w.cfg.OnEpoch != nil {
+			w.cfg.OnEpoch(int(w.epoch), globalLoss, w.lastBalance)
+		}
+	}
+	w.epoch++
+	return globalLoss, nil
+}
+
+// wholeGraphEpoch runs the paper's full-graph epoch: neighbor selection,
+// the layer-by-layer forward pass (feature sync happens inside
+// AggregateBottom as fenced Exchanges), local loss and backward, the
+// gradient all-reduce, and an optimizer step identical on every worker.
+func (w *worker) wholeGraphEpoch() (float32, error) {
 	if err := w.ensureHDG(); err != nil {
 		return 0, err
 	}
@@ -399,22 +494,13 @@ func (w *worker) runEpoch() (loss float32, err error) {
 		lossV.Backward()
 	})
 	bspan.End()
-	globalLoss, err := w.syncGradients(lossV.Data.At(0, 0), masked)
+	globalLoss, err := w.syncGradients(lossV.Data.At(0, 0), masked, 0)
 	if err != nil {
 		return 0, err
 	}
 	w.breakdown.Time(metrics.StageBackward, func() {
 		w.opt.Step()
 	})
-	if w.rank == 0 {
-		w.lossGauge.Set(float64(globalLoss))
-		w.epochGauge.Set(time.Since(epochStart).Seconds())
-		w.epochsCtr.Inc()
-		if w.cfg.OnEpoch != nil {
-			w.cfg.OnEpoch(int(w.epoch), globalLoss, w.lastBalance)
-		}
-	}
-	w.epoch++
 	return globalLoss, nil
 }
 
@@ -472,7 +558,8 @@ func (w *worker) localLoss(hLocal *nn.Value) (*nn.Value, int) {
 // per-stage epoch seconds in the trailing k·StageCount slots), rescaling
 // each worker's contribution by its masked-vertex count so the summed
 // gradient matches single-machine whole-graph training. Returns the global
-// loss.
+// loss. phase disambiguates the fence within an epoch: whole-graph epochs
+// sync once at phase 0, mini-batch epochs once per round.
 //
 // The stage-seconds tail turns the sum-all-reduce into a gather for free:
 // each rank writes only its own region (everyone else's region stays zero,
@@ -484,7 +571,7 @@ func (w *worker) localLoss(hLocal *nn.Value) (*nn.Value, int) {
 // The default ring algorithm ships at most 2·|payload| bytes per worker
 // regardless of k; GradSyncBroadcast restores the (k−1)·|payload|
 // all-to-all, bit-identical by construction (both sum in rank order).
-func (w *worker) syncGradients(localLoss float32, localCount int) (float32, error) {
+func (w *worker) syncGradients(localLoss float32, localCount int, phase int32) (float32, error) {
 	span := w.tracer.Begin(int32(w.rank), w.epoch, 0, trace.CatStage, "gradsync")
 	defer span.End()
 	syncStart := time.Now()
@@ -519,7 +606,7 @@ func (w *worker) syncGradients(localLoss float32, localCount int) (float32, erro
 		payload[stageBase+w.rank*metrics.StageCount+s] = float32((stageNow[s] - w.stageMark[s]).Seconds())
 	}
 
-	fence := collective.Fence{Epoch: w.epoch, Phase: 0}
+	fence := collective.Fence{Epoch: w.epoch, Phase: phase}
 	var err error
 	switch w.cfg.GradSync {
 	case GradSyncBroadcast:

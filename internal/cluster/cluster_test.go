@@ -24,8 +24,8 @@ func TestDistributedGCNMatchesSingleMachineFirstLoss(t *testing.T) {
 	// whole-graph single-machine training bit-for-bit up to float
 	// accumulation order.
 	d := dataset.RedditLike(dataset.Config{Scale: 0.02, Seed: 1})
-	single := nau.NewTrainer(models.NewGCN(d.FeatureDim(), 8, d.NumClasses, tensor.NewRNG(7)),
-		d.Graph, d.Features, d.Labels, d.TrainMask, 7)
+	single := nau.NewTrainerWith(models.NewGCN(d.FeatureDim(), 8, d.NumClasses, tensor.NewRNG(7)),
+		nau.TrainerOptions{Graph: d.Graph, Features: d.Features, Labels: d.Labels, TrainMask: d.TrainMask, Seed: 7})
 	wantLoss, err := single.Epoch()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/store"
+)
+
+// miniBatchEpoch runs one epoch of data-parallel mini-batch training. Each
+// worker streams batches over its own partition through the prefetching
+// sampler; every round ends in a fenced gradient all-reduce (phase = round
+// index) and an optimizer step, so replicas stay bit-identical across
+// ranks. Workers whose partitions ran out pad the remaining rounds with
+// zero gradients and zero loss weight — the masked-count weighting makes a
+// padded rank a no-op in the global average while it still joins the
+// collective.
+//
+// The trainer only ever blocks in Stream.Next (recorded as
+// StageNeighborSelection and in the sample_wait_ns histogram); with
+// PrefetchDepth > 0 the next rounds' sampling and feature gathering overlap
+// this round's forward/backward.
+func (w *worker) miniBatchEpoch() (float32, error) {
+	batches := chunkRoots(w.roots, w.mbBatch)
+	st := w.sampler.Epoch(context.Background(), int(w.epoch), batches)
+	defer st.Close()
+
+	var globalLoss float32
+	for r := 0; r < w.mbRounds; r++ {
+		// The abort fence tracks the round so a failing worker names the
+		// collective its peers are blocked in.
+		w.aggCalls = int32(r)
+		var lossVal float32
+		masked := 0
+		if r < len(batches) {
+			start := time.Now()
+			bt, err := st.Next()
+			w.breakdown.Add(metrics.StageNeighborSelection, time.Since(start))
+			if err != nil {
+				return 0, err
+			}
+			fstart := time.Now()
+			logits, err := store.Forward(w.model, w.eng, w.g, bt, w.rng, true)
+			w.breakdown.Add(metrics.StageAggregation, time.Since(fstart))
+			if err != nil {
+				return 0, err
+			}
+			// Roots are the prefix of the batch universe, so the first
+			// len(Roots) label/mask rows are exactly the batch targets.
+			nb := len(bt.Roots)
+			lossV := nn.CrossEntropy(logits, bt.Labels[:nb], bt.Mask[:nb])
+			for i := 0; i < nb; i++ {
+				if bt.Mask[i] {
+					masked++
+				}
+			}
+			w.breakdown.Time(metrics.StageBackward, func() {
+				w.opt.ZeroGrad()
+				lossV.Backward()
+			})
+			lossVal = lossV.Data.At(0, 0)
+		} else {
+			// Padding round: zero gradients, zero weight.
+			w.opt.ZeroGrad()
+		}
+		g, err := w.syncGradients(lossVal, masked, int32(r))
+		if err != nil {
+			return 0, err
+		}
+		w.breakdown.Time(metrics.StageBackward, func() {
+			w.opt.Step()
+		})
+		globalLoss = g
+	}
+	return globalLoss, nil
+}
+
+// chunkRoots splits roots into sequential batches of at most size vertices.
+func chunkRoots(roots []graph.VertexID, size int) [][]graph.VertexID {
+	var out [][]graph.VertexID
+	for start := 0; start < len(roots); start += size {
+		end := start + size
+		if end > len(roots) {
+			end = len(roots)
+		}
+		out = append(out, roots[start:end])
+	}
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/nau"
 	"repro/internal/nn"
 	"repro/internal/rpc"
+	"repro/internal/store"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -71,6 +72,13 @@ type worker struct {
 
 	// plans caches the exchanged communication plan per adjacency.
 	plans map[*engine.Adjacency]*workerPlan
+
+	// Mini-batch mode (Config.MiniBatch != nil): the prefetching data
+	// plane over this worker's partition, the per-round batch size and
+	// the cluster-wide round count (largest partition's schedule length).
+	sampler  *store.Sampler
+	mbBatch  int
+	mbRounds int
 }
 
 // workerPlan is this worker's view of the communication plan for one

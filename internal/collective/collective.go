@@ -163,6 +163,8 @@ func classOf(k rpc.MsgKind) metrics.MsgClass {
 		return metrics.ClassPlan
 	case rpc.KindAbort:
 		return metrics.ClassAbort
+	case rpc.KindSample:
+		return metrics.ClassSample
 	default:
 		return -1
 	}

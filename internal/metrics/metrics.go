@@ -63,6 +63,7 @@ const (
 	ClassBarrier
 	ClassPlan
 	ClassAbort
+	ClassSample
 	NumMsgClasses
 )
 
@@ -81,6 +82,8 @@ func (c MsgClass) String() string {
 		return "plan"
 	case ClassAbort:
 		return "abort"
+	case ClassSample:
+		return "sample"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}

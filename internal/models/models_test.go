@@ -13,7 +13,8 @@ import (
 
 func trainModel(t *testing.T, m *nau.Model, d *dataset.Dataset, epochs int) (*nau.Trainer, float32, float32) {
 	t.Helper()
-	tr := nau.NewTrainer(m, d.Graph, d.Features, d.Labels, d.TrainMask, 7)
+	tr := nau.NewTrainerWith(m,
+		nau.TrainerOptions{Graph: d.Graph, Features: d.Features, Labels: d.Labels, TrainMask: d.TrainMask, Seed: 7})
 	var first, last float32
 	for e := 0; e < epochs; e++ {
 		loss, err := tr.Epoch()
@@ -72,7 +73,8 @@ func TestPinSageRebuildsHDGPerEpoch(t *testing.T) {
 	d := dataset.RedditLike(dataset.Config{Scale: 0.02, Seed: 3})
 	rng := tensor.NewRNG(3)
 	m := NewPinSage(d.FeatureDim(), 8, d.NumClasses, PinSageConfig{NumWalks: 3, Hops: 2, TopK: 3}, rng)
-	tr := nau.NewTrainer(m, d.Graph, d.Features, d.Labels, d.TrainMask, 3)
+	tr := nau.NewTrainerWith(m,
+		nau.TrainerOptions{Graph: d.Graph, Features: d.Features, Labels: d.Labels, TrainMask: d.TrainMask, Seed: 3})
 	if _, err := tr.Epoch(); err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,8 @@ func TestMAGNNCachesHDGForever(t *testing.T) {
 	d := dataset.IMDBLike(dataset.Config{Scale: 0.03, Seed: 5})
 	rng := tensor.NewRNG(5)
 	m := NewMAGNN(d.FeatureDim(), 8, d.NumClasses, d.Metapaths, MAGNNConfig{MaxInstances: 4}, rng)
-	tr := nau.NewTrainer(m, d.Graph, d.Features, d.Labels, d.TrainMask, 5)
+	tr := nau.NewTrainerWith(m,
+		nau.TrainerOptions{Graph: d.Graph, Features: d.Features, Labels: d.Labels, TrainMask: d.TrainMask, Seed: 5})
 	if _, err := tr.Epoch(); err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +149,8 @@ func TestAllStrategiesGiveSameLossGCN(t *testing.T) {
 	for _, strat := range []engine.Strategy{engine.StrategySA, engine.StrategySAFA, engine.StrategyHA} {
 		rng := tensor.NewRNG(8)
 		m := NewGCN(d.FeatureDim(), 8, d.NumClasses, rng)
-		tr := nau.NewTrainer(m, d.Graph, d.Features, d.Labels, d.TrainMask, 9)
+		tr := nau.NewTrainerWith(m,
+			nau.TrainerOptions{Graph: d.Graph, Features: d.Features, Labels: d.Labels, TrainMask: d.TrainMask, Seed: 9})
 		tr.Engine = engine.New(strat)
 		loss, err := tr.Epoch()
 		if err != nil {
@@ -168,7 +172,8 @@ func TestAllStrategiesGiveSameLossMAGNN(t *testing.T) {
 	for _, strat := range []engine.Strategy{engine.StrategySA, engine.StrategySAFA, engine.StrategyHA} {
 		rng := tensor.NewRNG(9)
 		m := NewMAGNN(d.FeatureDim(), 8, d.NumClasses, d.Metapaths, MAGNNConfig{MaxInstances: 4}, rng)
-		tr := nau.NewTrainer(m, d.Graph, d.Features, d.Labels, d.TrainMask, 10)
+		tr := nau.NewTrainerWith(m,
+			nau.TrainerOptions{Graph: d.Graph, Features: d.Features, Labels: d.Labels, TrainMask: d.TrainMask, Seed: 10})
 		tr.Engine = engine.New(strat)
 		loss, err := tr.Epoch()
 		if err != nil {
@@ -206,7 +211,8 @@ func TestTable4BreakdownShape(t *testing.T) {
 	rng := tensor.NewRNG(11)
 
 	gcn := NewGCN(dR.FeatureDim(), 8, dR.NumClasses, rng)
-	trG := nau.NewTrainer(gcn, dR.Graph, dR.Features, dR.Labels, dR.TrainMask, 11)
+	trG := nau.NewTrainerWith(gcn,
+		nau.TrainerOptions{Graph: dR.Graph, Features: dR.Features, Labels: dR.Labels, TrainMask: dR.TrainMask, Seed: 11})
 	if _, err := trG.Epoch(); err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +221,8 @@ func TestTable4BreakdownShape(t *testing.T) {
 	}
 
 	ps := NewPinSage(dR.FeatureDim(), 8, dR.NumClasses, PinSageConfig{NumWalks: 10, Hops: 3, TopK: 10}, rng)
-	trP := nau.NewTrainer(ps, dR.Graph, dR.Features, dR.Labels, dR.TrainMask, 11)
+	trP := nau.NewTrainerWith(ps,
+		nau.TrainerOptions{Graph: dR.Graph, Features: dR.Features, Labels: dR.Labels, TrainMask: dR.TrainMask, Seed: 11})
 	if _, err := trP.Epoch(); err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +270,8 @@ func TestGINEpsilonGetsGradient(t *testing.T) {
 	rng := tensor.NewRNG(32)
 	layer := NewGINLayer(d.FeatureDim(), d.NumClasses, false, rng)
 	m := &nau.Model{Name: "GIN1", Layers: []nau.Layer{layer}, Cache: nau.CacheForever}
-	tr := nau.NewTrainer(m, d.Graph, d.Features, d.Labels, d.TrainMask, 32)
+	tr := nau.NewTrainerWith(m,
+		nau.TrainerOptions{Graph: d.Graph, Features: d.Features, Labels: d.Labels, TrainMask: d.TrainMask, Seed: 32})
 	if _, err := tr.Epoch(); err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +284,8 @@ func TestPinSageHDGVisibleAfterEpoch(t *testing.T) {
 	d := dataset.RedditLike(dataset.Config{Scale: 0.02, Seed: 33})
 	rng := tensor.NewRNG(33)
 	m := NewPinSage(d.FeatureDim(), 8, d.NumClasses, PinSageConfig{NumWalks: 3, Hops: 2, TopK: 3}, rng)
-	tr := nau.NewTrainer(m, d.Graph, d.Features, d.Labels, d.TrainMask, 33)
+	tr := nau.NewTrainerWith(m,
+		nau.TrainerOptions{Graph: d.Graph, Features: d.Features, Labels: d.Labels, TrainMask: d.TrainMask, Seed: 33})
 	if _, err := tr.Epoch(); err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@ package nau
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -147,14 +148,27 @@ func NeighborSelection(g *graph.Graph, schema *hdg.SchemaTree, udf NeighborUDF, 
 	if schema == nil || udf == nil {
 		return nil, fmt.Errorf("nau: NeighborSelection requires a schema and a UDF")
 	}
+	return NeighborSelectionBounded(g, schema, udf, roots, rng, 0)
+}
+
+// NeighborSelectionBounded is NeighborSelection with the per-root UDF
+// fan-out bounded to at most `workers` goroutines (<= 0 selects the kernel
+// parallelism). Seeds are pre-split from rng either way, so the records —
+// and everything built from them — are bitwise independent of the bound;
+// the bound only controls how much CPU selection takes from a concurrently
+// running training step.
+func NeighborSelectionBounded(g *graph.Graph, schema *hdg.SchemaTree, udf NeighborUDF, roots []graph.VertexID, rng *tensor.RNG, workers int) (*hdg.HDG, error) {
+	if schema == nil || udf == nil {
+		return nil, fmt.Errorf("nau: NeighborSelection requires a schema and a UDF")
+	}
 	// Pre-split one RNG per root so parallel execution is deterministic.
 	seeds := make([]uint64, len(roots))
 	for i := range seeds {
 		seeds[i] = rng.Uint64()
 	}
-	return NeighborSelectionSeeded(g, schema, udf, roots, func(i int, _ graph.VertexID) uint64 {
+	return neighborSelectionSeeded(g, schema, udf, roots, func(i int, _ graph.VertexID) uint64 {
 		return seeds[i]
-	})
+	}, workers)
 }
 
 // NeighborSelectionSeeded is NeighborSelection with the per-root RNG seed
@@ -166,17 +180,62 @@ func NeighborSelectionSeeded(g *graph.Graph, schema *hdg.SchemaTree, udf Neighbo
 	if schema == nil || udf == nil {
 		return nil, fmt.Errorf("nau: NeighborSelection requires a schema and a UDF")
 	}
+	return neighborSelectionSeeded(g, schema, udf, roots, seedFor, 0)
+}
+
+// neighborSelectionSeeded runs the per-root UDF across at most `workers`
+// goroutines (<= 0 selects the kernel parallelism) and builds the HDGs.
+// Records land in a per-root slot, so the concatenation order — and
+// therefore the result — never depends on the fan-out.
+func neighborSelectionSeeded(g *graph.Graph, schema *hdg.SchemaTree, udf NeighborUDF, roots []graph.VertexID, seedFor func(i int, v graph.VertexID) uint64, workers int) (*hdg.HDG, error) {
 	perRoot := make([][]hdg.Record, len(roots))
-	tensor.ParallelFor(len(roots), func(s, e int) {
-		for i := s; i < e; i++ {
-			perRoot[i] = udf(g, schema, roots[i], tensor.NewRNG(seedFor(i, roots[i])))
-		}
+	selectBounded(len(roots), workers, func(i int) {
+		perRoot[i] = udf(g, schema, roots[i], tensor.NewRNG(seedFor(i, roots[i])))
 	})
 	var records []hdg.Record
 	for _, rs := range perRoot {
 		records = append(records, rs...)
 	}
 	return hdg.Build(schema, roots, records)
+}
+
+// selectBounded runs fn(i) for i in [0, n) across at most `workers`
+// goroutines; <= 0 defers to tensor.ParallelFor (kernel parallelism).
+// Contiguous chunking keeps each worker's roots adjacent in the CSR.
+func selectBounded(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		tensor.ParallelFor(n, func(s, e int) {
+			for i := s; i < e; i++ {
+				fn(i)
+			}
+		})
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for s := 0; s < n; s += chunk {
+		e := s + chunk
+		if e > n {
+			e = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			for i := s; i < e; i++ {
+				fn(i)
+			}
+		}(s, e)
+	}
+	wg.Wait()
 }
 
 // AllVertices returns the full root set [0, n) for whole-graph training.

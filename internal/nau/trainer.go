@@ -55,6 +55,9 @@ type Trainer struct {
 	// Tracer records NAU stage spans (select/aggregate/update/backward)
 	// with rank 0; nil leaves tracing off at ~1 ns per site.
 	Tracer *trace.Tracer
+	// SamplerWorkers bounds NeighborSelection's fan-out (<= 0 selects the
+	// kernel parallelism); results are bitwise identical at any setting.
+	SamplerWorkers int
 
 	cachedHDG *hdg.HDG
 	hdgUsed   bool // one training epoch has consumed cachedHDG
@@ -91,6 +94,12 @@ type TrainerOptions struct {
 	NewOptimizer func(params []*nn.Value) nn.Optimizer
 	// Tracer records NAU stage spans; nil leaves tracing off.
 	Tracer *trace.Tracer
+	// SamplerWorkers bounds the goroutines NeighborSelection fans the
+	// per-root UDF across; <= 0 selects the kernel parallelism. Results
+	// are bitwise identical at every setting — the bound only limits how
+	// much CPU selection takes from concurrent work (e.g. a training step
+	// it is prefetching ahead of).
+	SamplerWorkers int
 }
 
 // NewTrainerWith wires up a trainer from options — the constructor new code
@@ -111,16 +120,17 @@ func NewTrainerWith(m *Model, o TrainerOptions) *Trainer {
 		opt = nn.NewAdam(m.Parameters(), lr)
 	}
 	return &Trainer{
-		Model:     m,
-		Graph:     o.Graph,
-		Feats:     o.Features,
-		Labels:    o.Labels,
-		Mask:      o.TrainMask,
-		Engine:    eng,
-		Opt:       opt,
-		RNG:       tensor.NewRNG(o.Seed),
-		Breakdown: &metrics.Breakdown{},
-		Tracer:    o.Tracer,
+		Model:          m,
+		Graph:          o.Graph,
+		Feats:          o.Features,
+		Labels:         o.Labels,
+		Mask:           o.TrainMask,
+		Engine:         eng,
+		Opt:            opt,
+		RNG:            tensor.NewRNG(o.Seed),
+		Breakdown:      &metrics.Breakdown{},
+		Tracer:         o.Tracer,
+		SamplerWorkers: o.SamplerWorkers,
 	}
 }
 
@@ -156,7 +166,8 @@ func (t *Trainer) ensureHDG() error {
 	defer t.Tracer.Begin(0, int32(t.epoch), 0, trace.CatStage, "select").End()
 	t.Breakdown.Time(metrics.StageNeighborSelection, func() {
 		layer := t.Model.Layers[0]
-		h, err = NeighborSelection(t.Graph, layer.Schema(), layer.NeighborUDF(), AllVertices(t.Graph), t.RNG)
+		h, err = NeighborSelectionBounded(t.Graph, layer.Schema(), layer.NeighborUDF(),
+			AllVertices(t.Graph), t.RNG, t.SamplerWorkers)
 	})
 	if err != nil {
 		return fmt.Errorf("nau: neighbor selection: %w", err)

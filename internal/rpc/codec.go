@@ -34,6 +34,13 @@ const (
 	// collectives that will never complete. Epoch/Layer identify the fence
 	// the sender failed at.
 	KindAbort
+	// KindSample carries data-plane graph queries and their replies between
+	// a store client and a store server: neighbor-selection records, 1-hop
+	// in-edge lists and induced k-hop subgraphs. The Layer field holds the
+	// store opcode and Epoch carries the pipelined request ID, so several
+	// requests can be outstanding on one link at once. Feature-row gathers
+	// on the same link reuse KindFeatures with the same ID convention.
+	KindSample
 
 	numKinds
 )
@@ -56,6 +63,8 @@ func (k MsgKind) String() string {
 		return "plan"
 	case KindAbort:
 		return "abort"
+	case KindSample:
+		return "sample"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

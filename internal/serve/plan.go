@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hdg"
 	"repro/internal/nau"
+	"repro/internal/store"
 )
 
 // layerPlan is the work one model layer contributes to a batch: the vertices
@@ -66,30 +67,22 @@ func (s *Server) planBatch(roots []graph.VertexID, version int64) ([]layerPlan, 
 	return plans, nil
 }
 
-// expand builds p's input universe and sub-level from p.miss: the miss
-// vertices first (the Update stage's self rows), then each destination's
-// sources in whole-graph order.
+// expand builds p's input universe and sub-level from p.miss through
+// store.Universe — the same extraction the prefetch sampler runs, kept in
+// one place so serving and mini-batch training cannot drift. The universe
+// orders the miss vertices first (the Update stage's self rows), then each
+// destination's sources in whole-graph order.
 func (s *Server) expand(p *layerPlan) error {
-	index := make(map[graph.VertexID]int32, 2*len(p.miss))
-	p.in = append([]graph.VertexID(nil), p.miss...)
-	for i, v := range p.in {
-		index[v] = int32(i)
-	}
-	add := func(v graph.VertexID) {
-		if _, ok := index[v]; !ok {
-			index[v] = int32(len(p.in))
-			p.in = append(p.in, v)
-		}
-	}
+	u := store.NewUniverse(p.miss)
 	if s.schema == nil {
 		// DNFA: the input graph is the dependency structure; take each miss
 		// vertex's 1-hop in-neighbors.
-		for _, v := range p.miss {
-			for _, u := range s.graph.InNeighbors(v) {
-				add(u)
-			}
+		nbrs := make([][]graph.VertexID, len(p.miss))
+		for i, v := range p.miss {
+			nbrs[i] = s.graph.InNeighbors(v)
 		}
-		p.adj = engine.FromGraphInEdgesSubset(s.graph, p.miss, index, len(p.in))
+		p.adj = u.InEdgeAdjacency(p.miss, nbrs)
+		p.in = u.Vertices()
 		return nil
 	}
 	// INFA/INHA: run the model's own NeighborSelection over the miss roots,
@@ -108,15 +101,9 @@ func (s *Server) expand(p *layerPlan) error {
 		// sampled instances all degenerated to single vertices.
 		h.Hierarchicalize()
 	}
-	for _, v := range h.LeafVertexSet() {
-		add(v)
-	}
-	p.sub, err = h.RemapLeaves(func(v graph.VertexID) (graph.VertexID, bool) {
-		i, ok := index[v]
-		return graph.VertexID(i), ok
-	})
-	if err != nil {
+	if p.sub, err = u.SubHDG(h); err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
+	p.in = u.Vertices()
 	return nil
 }

@@ -1,0 +1,49 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/nau"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Forward runs a NAU model over a layered batch with autograd intact: layer
+// l consumes layer l-1's activations through plan l's sub-structure, and
+// the result holds one logits row per batch root. It is the training twin
+// of the serve planner's computeBatch — same universe walk, but every op
+// stays on the tape so Backward reaches the parameters.
+//
+// Because plan l-1's input universe extends plan l's (layer l's inputs are
+// the prefix of layer l-1's outputs), no inter-layer gather is needed
+// beyond the identity-prefix self gather every NAU Update already does.
+func Forward(model *nau.Model, eng *engine.Engine, g *graph.Graph, b *Batch, rng *tensor.RNG, train bool) (*nn.Value, error) {
+	if len(b.Plans) != len(model.Layers) {
+		return nil, fmt.Errorf("store: batch has %d layer plans, model has %d layers",
+			len(b.Plans), len(model.Layers))
+	}
+	x := nn.Constant(b.Feats)
+	for l, layer := range model.Layers {
+		p := &b.Plans[l]
+		ctx := &nau.Context{
+			Graph:          g,
+			Engine:         eng,
+			HDG:            p.Sub,
+			RNG:            rng,
+			Train:          train,
+			NumFeatureRows: len(p.In),
+		}
+		if p.Adj != nil {
+			ctx.SetGraphAdjacency(p.Adj)
+		}
+		nbr := layer.Aggregation(ctx, x)
+		self := make([]int32, len(p.Out))
+		for i := range self {
+			self[i] = int32(i)
+		}
+		x = layer.Update(ctx, nn.Gather(x, self), nbr)
+	}
+	return x, nil
+}

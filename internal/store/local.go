@@ -1,0 +1,194 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/hdg"
+	"repro/internal/nau"
+	"repro/internal/tensor"
+)
+
+// LocalConfig configures an in-memory store over the CSR graph.
+type LocalConfig struct {
+	// Graph is the stored topology (required).
+	Graph *graph.Graph
+	// Features is the [vertices, dim] feature matrix (required for Gather).
+	Features *tensor.Tensor
+	// Labels holds one class per vertex (nil gathers zeros).
+	Labels []int32
+	// TrainMask marks the vertices contributing to the loss (nil gathers
+	// false).
+	TrainMask []bool
+	// Schema and UDF configure Sample — the neighbor-selection query. A nil
+	// Schema makes Sample an error (DNFA models use InEdges instead).
+	Schema *hdg.SchemaTree
+	// UDF is the neighbor-selection function run per root.
+	UDF nau.NeighborUDF
+	// Workers bounds the goroutines Sample fans selection across; <= 0
+	// selects the kernel parallelism (tensor.Parallelism).
+	Workers int
+}
+
+// Local implements GraphStore and FeatureStore in memory. It is the store a
+// worker uses for graph and feature shards it holds itself, and the backend
+// a Server exposes to remote ranks.
+type Local struct {
+	cfg LocalConfig
+}
+
+// NewLocal builds an in-memory store.
+func NewLocal(cfg LocalConfig) *Local { return &Local{cfg: cfg} }
+
+// NumVertices returns the graph's vertex count.
+func (l *Local) NumVertices() int { return l.cfg.Graph.NumVertices() }
+
+// FeatureDim returns the feature row width.
+func (l *Local) FeatureDim() int { return l.cfg.Features.Cols() }
+
+// Close is a no-op: the local store owns no resources.
+func (l *Local) Close() error { return nil }
+
+// InEdges returns read-only views of each destination's CSR in-neighbor
+// list.
+func (l *Local) InEdges(ctx context.Context, dsts []graph.VertexID) ([][]graph.VertexID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &FetchError{Op: "in_edges", Verts: len(dsts), Err: err}
+	}
+	out := make([][]graph.VertexID, len(dsts))
+	for i, v := range dsts {
+		out[i] = l.cfg.Graph.InNeighbors(v)
+	}
+	return out, nil
+}
+
+// Sample runs the configured UDF over the roots, each root seeded from
+// (epochSeed, root) via VertexSeed, fanned across the configured worker
+// count. Records are concatenated in root order, so the result is
+// deterministic regardless of parallelism.
+func (l *Local) Sample(ctx context.Context, roots []graph.VertexID, epochSeed uint64) ([]hdg.Record, error) {
+	if l.cfg.Schema == nil || l.cfg.UDF == nil {
+		return nil, &FetchError{Op: "sample", Verts: len(roots),
+			Err: fmt.Errorf("store: no schema/UDF configured")}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &FetchError{Op: "sample", Verts: len(roots), Err: err}
+	}
+	perRoot := make([][]hdg.Record, len(roots))
+	sampleBounded(len(roots), l.cfg.Workers, func(i int) {
+		rng := tensor.NewRNG(VertexSeed(epochSeed, roots[i]))
+		perRoot[i] = l.cfg.UDF(l.cfg.Graph, l.cfg.Schema, roots[i], rng)
+	})
+	var records []hdg.Record
+	for _, rs := range perRoot {
+		records = append(records, rs...)
+	}
+	return records, nil
+}
+
+// sampleBounded runs fn(i) for i in [0, n) across at most `workers`
+// goroutines (<= 0 selects the kernel parallelism via tensor.ParallelFor).
+// Contiguous chunking keeps each worker's roots adjacent, matching the CSR
+// layout.
+func sampleBounded(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		tensor.ParallelFor(n, func(s, e int) {
+			for i := s; i < e; i++ {
+				fn(i)
+			}
+		})
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for s := 0; s < n; s += chunk {
+		e := s + chunk
+		if e > n {
+			e = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			for i := s; i < e; i++ {
+				fn(i)
+			}
+		}(s, e)
+	}
+	wg.Wait()
+}
+
+// KHopInduced expands the roots k out-hops (full neighborhoods, §7.1),
+// sorts the expansion, and induces the subgraph on it — the exact
+// vertex-set and edge ordering of graph.Induce, so executors rebuilt on the
+// store reproduce the fused mini-batch conversion bit for bit.
+func (l *Local) KHopInduced(ctx context.Context, roots []graph.VertexID, hops int) (*Subgraph, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &FetchError{Op: "khop", Verts: len(roots), Err: err}
+	}
+	g := l.cfg.Graph
+	visited := make(map[graph.VertexID]bool, len(roots)*4)
+	frontier := make([]graph.VertexID, 0, len(roots))
+	for _, s := range roots {
+		if !visited[s] {
+			visited[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	for hop := 0; hop < hops; hop++ {
+		var next []graph.VertexID
+		for _, v := range frontier {
+			for _, u := range g.OutNeighbors(v) {
+				if !visited[u] {
+					visited[u] = true
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	verts := make([]graph.VertexID, 0, len(visited))
+	for v := range visited {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	sub, _ := g.Induce(verts)
+	return &Subgraph{Vertices: verts, Adj: engine.FromGraphInEdges(sub)}, nil
+}
+
+// Gather copies the requested feature rows, labels and mask bits.
+func (l *Local) Gather(ctx context.Context, verts []graph.VertexID) (*FeatureSlice, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &FetchError{Op: "features", Verts: len(verts), Err: err}
+	}
+	idx := make([]int32, len(verts))
+	for i, v := range verts {
+		idx[i] = int32(v)
+	}
+	fs := &FeatureSlice{
+		Feats:  tensor.Gather(l.cfg.Features, idx),
+		Labels: make([]int32, len(verts)),
+		Mask:   make([]bool, len(verts)),
+	}
+	for i, v := range verts {
+		if l.cfg.Labels != nil {
+			fs.Labels[i] = l.cfg.Labels[v]
+		}
+		if l.cfg.TrainMask != nil {
+			fs.Mask[i] = l.cfg.TrainMask[v]
+		}
+	}
+	return fs, nil
+}

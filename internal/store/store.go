@@ -1,0 +1,112 @@
+// Package store is the data plane of the distributed runtime: it decouples
+// where graph topology and vertex features live from the trainer that
+// consumes them, so neighbor selection and feature gathers can run ahead of
+// the compute they feed (§5's pipelining applied to the input side).
+//
+// Two narrow interfaces split the responsibilities the production systems
+// the paper compares against also split (GraphLearn, distributed PyG):
+// GraphStore answers topology and neighbor-selection queries, FeatureStore
+// serves vertex feature/label slices. Local implements both in memory over
+// the CSR graph; Remote speaks rpc.KindSample/KindFeatures to a Server on
+// another rank with a pipelined request window. The Sampler on top
+// materialises self-contained training batches through either, overlapping
+// the next batch's selection and gather with the current batch's
+// forward/backward.
+package store
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/hdg"
+	"repro/internal/tensor"
+)
+
+// GraphStore answers topology and neighbor-selection queries. All methods
+// are safe for concurrent use; implementations over a transport bound each
+// call by their receive deadline and surface failures as *FetchError.
+type GraphStore interface {
+	// NumVertices returns the vertex count of the stored graph.
+	NumVertices() int
+	// InEdges returns, for each destination, its 1-hop in-neighbor list in
+	// whole-graph order — the DNFA dependency structure. The returned
+	// slices are read-only views; callers must not mutate them.
+	InEdges(ctx context.Context, dsts []graph.VertexID) ([][]graph.VertexID, error)
+	// Sample runs the store's configured neighbor UDF over the roots with
+	// per-vertex seeds derived from (epochSeed, root), so a vertex's
+	// records do not depend on which batch it arrived in — the property
+	// that makes prefetch order unable to change training results.
+	Sample(ctx context.Context, roots []graph.VertexID, epochSeed uint64) ([]hdg.Record, error)
+	// KHopInduced returns the sorted k-hop out-expansion of the roots and
+	// the in-edge adjacency of the subgraph induced on it — the
+	// full-neighborhood mini-batch conversion of §7.1 (Euler/DistDGL).
+	KHopInduced(ctx context.Context, roots []graph.VertexID, hops int) (*Subgraph, error)
+	// Close releases the store's resources.
+	Close() error
+}
+
+// FeatureStore serves vertex feature rows, labels and train-mask bits.
+type FeatureStore interface {
+	// FeatureDim returns the feature row width.
+	FeatureDim() int
+	// Gather returns the features, labels and train-mask bits of the given
+	// vertices, one row per vertex in input order.
+	Gather(ctx context.Context, verts []graph.VertexID) (*FeatureSlice, error)
+	// Close releases the store's resources.
+	Close() error
+}
+
+// Subgraph is an induced-subgraph query result: the compact vertex universe
+// (sorted ascending by global ID) and the in-edge adjacency over it, with
+// source indices remapped into the universe.
+type Subgraph struct {
+	Vertices []graph.VertexID
+	Adj      *engine.Adjacency
+}
+
+// FeatureSlice is a feature-gather result: one row per requested vertex, in
+// request order.
+type FeatureSlice struct {
+	Feats  *tensor.Tensor
+	Labels []int32
+	Mask   []bool
+}
+
+// FetchError is the typed failure of a store operation: which query failed
+// and why. The prefetch pipeline propagates it to the trainer unwrapped, so
+// errors.As(*store.FetchError) — and errors.Is against the transport's root
+// cause, e.g. rpc.ErrCrashed or rpc.ErrRecvTimeout — both work from the
+// training loop.
+type FetchError struct {
+	// Op names the query: "sample", "in_edges", "khop", "features".
+	Op string
+	// Verts is the request size (number of vertices queried).
+	Verts int
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *FetchError) Error() string {
+	return fmt.Sprintf("store: %s query over %d vertices: %v", e.Op, e.Verts, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *FetchError) Unwrap() error { return e.Err }
+
+// EpochSeed derives the per-epoch selection seed from the run seed — the
+// same derivation the whole-graph cluster path uses, so mini-batch and
+// whole-graph selection agree for a given (seed, epoch).
+func EpochSeed(seed uint64, epoch int) uint64 {
+	return seed ^ (uint64(epoch+1) * 0x9e3779b97f4a7c15)
+}
+
+// VertexSeed derives a root's private RNG seed from the epoch seed and its
+// vertex ID. Seeding per vertex rather than from a shared stream is what
+// makes sampled neighborhoods batch-composition independent: the records a
+// vertex selects are a pure function of (epochSeed, vertex), no matter
+// which batch, worker or prefetch slot ran the selection.
+func VertexSeed(epochSeed uint64, v graph.VertexID) uint64 {
+	return epochSeed ^ (uint64(v)+1)*0xbf58476d1ce4e5b9
+}

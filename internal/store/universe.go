@@ -1,0 +1,100 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/hdg"
+)
+
+// Universe builds a batch's compact input universe: the vertices whose
+// previous-layer activations a batch computation reads, each assigned one
+// row. The seed vertices (a layer's output frontier) come first, so the
+// Update stage's self-feature gather is the identity prefix; dependencies
+// are appended in deterministic first-add order. This is the ordering
+// invariant the serve planner introduced in PR 5 — extracting it here lets
+// the prefetch sampler and the planner share one implementation.
+type Universe struct {
+	in    []graph.VertexID
+	index map[graph.VertexID]int32
+}
+
+// NewUniverse starts a universe from the seed vertices, which must be
+// duplicate-free (a layer frontier always is).
+func NewUniverse(seeds []graph.VertexID) *Universe {
+	u := &Universe{
+		in:    append([]graph.VertexID(nil), seeds...),
+		index: make(map[graph.VertexID]int32, 2*len(seeds)),
+	}
+	for i, v := range u.in {
+		u.index[v] = int32(i)
+	}
+	return u
+}
+
+// Add ensures v has a row and returns it.
+func (u *Universe) Add(v graph.VertexID) int32 {
+	if i, ok := u.index[v]; ok {
+		return i
+	}
+	i := int32(len(u.in))
+	u.index[v] = i
+	u.in = append(u.in, v)
+	return i
+}
+
+// Row returns v's row, or -1 if v is not in the universe.
+func (u *Universe) Row(v graph.VertexID) int32 {
+	if i, ok := u.index[v]; ok {
+		return i
+	}
+	return -1
+}
+
+// Vertices returns the universe's vertices in row order. The slice is owned
+// by the universe; callers must not mutate it.
+func (u *Universe) Vertices() []graph.VertexID { return u.in }
+
+// Len returns the number of rows.
+func (u *Universe) Len() int { return len(u.in) }
+
+// InEdgeAdjacency appends each destination's in-neighbors to the universe
+// and returns the sub-level adjacency over it: one destination row per dst
+// (in order), sources remapped to universe rows with whole-graph neighbor
+// order preserved — the property that keeps batched aggregation bit-equal
+// to the whole-graph level. nbrs[i] lists dsts[i]'s in-neighbors.
+func (u *Universe) InEdgeAdjacency(dsts []graph.VertexID, nbrs [][]graph.VertexID) *engine.Adjacency {
+	ptr := make([]int64, len(dsts)+1)
+	total := 0
+	for _, ns := range nbrs {
+		total += len(ns)
+	}
+	idx := make([]int32, 0, total)
+	for i, ns := range nbrs {
+		for _, v := range ns {
+			idx = append(idx, u.Add(v))
+		}
+		ptr[i+1] = int64(len(idx))
+	}
+	return &engine.Adjacency{NumDst: len(dsts), NumSrc: u.Len(), DstPtr: ptr, SrcIdx: idx}
+}
+
+// SubHDG appends h's leaf vertices to the universe (in LeafVertexSet's
+// sorted order, keeping leaf processing deterministic) and returns h with
+// its leaves remapped to universe rows. Instance structure and per-instance
+// leaf order are untouched — hdg.RemapLeaves only rewrites IDs — so
+// aggregation over the sub-HDG reduces in exactly the whole-graph order.
+func (u *Universe) SubHDG(h *hdg.HDG) (*hdg.HDG, error) {
+	for _, v := range h.LeafVertexSet() {
+		u.Add(v)
+	}
+	sub, err := h.RemapLeaves(func(v graph.VertexID) (graph.VertexID, bool) {
+		i := u.Row(v)
+		return graph.VertexID(i), i >= 0
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: remap leaves: %w", err)
+	}
+	return sub, nil
+}

@@ -34,6 +34,12 @@ const (
 	// CatServe marks online-inference work (a request waiting for its
 	// micro-batch, or one batch's planning + forward pass).
 	CatServe = "serve"
+	// CatSample marks data-plane sampling work: a prefetch worker
+	// materialising a batch (neighbor selection + feature gather) and the
+	// trainer's wait for the next ready batch. With prefetch overlapping
+	// compute, the sample spans run in parallel with the stage lane and the
+	// wait spans shrink — the overlap is directly visible in Perfetto.
+	CatSample = "sample"
 )
 
 // Span is one completed timed region. Start is nanoseconds since the

@@ -34,7 +34,8 @@ func benchTrainStep(b *testing.B, on bool) {
 	defer setKernelLevers(true)
 	d := dataset.RedditLike(dataset.Config{Scale: 0.3, Seed: 1})
 	model := models.NewGCN(d.FeatureDim(), 16, d.NumClasses, tensor.NewRNG(3))
-	tr := nau.NewTrainer(model, d.Graph, d.Features, d.Labels, d.TrainMask, 1)
+	tr := nau.NewTrainerWith(model,
+		nau.TrainerOptions{Graph: d.Graph, Features: d.Features, Labels: d.Labels, TrainMask: d.TrainMask, Seed: 1})
 	tr.Engine = engine.New(engine.StrategyHA)
 	if _, err := tr.Epoch(); err != nil { // warm-up: build HDG/adjacency caches
 		b.Fatal(err)
