@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: ci build test race chaos trace-smoke serve-smoke sampler-smoke vet fmt \
-	bench bench-comm bench-kernels-diff bench-smoke bench-sampler
+.PHONY: ci build test race chaos trace-smoke serve-smoke sampler-smoke \
+	checkpoint-smoke vet fmt bench bench-comm bench-kernels-diff bench-smoke \
+	bench-sampler
 
-ci: vet fmt race chaos trace-smoke serve-smoke sampler-smoke test bench-smoke
+ci: vet fmt race chaos trace-smoke serve-smoke sampler-smoke checkpoint-smoke \
+	test bench-smoke
 
 build:
 	$(GO) build ./...
@@ -23,11 +25,24 @@ race: chaos
 
 # Fault-injection chaos tests, uncached and under the race detector: crash a
 # worker mid-epoch, expire receive deadlines, inject drops/dups/delays, and
-# prove every survivor fails fast with a typed error instead of hanging.
+# prove every survivor fails fast with a typed error instead of hanging —
+# and, for the CrashRestart scenarios, that a cluster restarted from its
+# last fenced checkpoint reproduces the uninterrupted run's losses bit for
+# bit on a fresh mesh (loopback and TCP, whole-graph and mini-batch).
 chaos:
-	$(GO) test -race -count=1 -run 'FailFast|Fault|Abort|Timeout|Duplicate|RecvTimeout|Cancel' \
+	$(GO) test -race -count=1 -run 'FailFast|Fault|Abort|Timeout|Duplicate|RecvTimeout|Cancel|CrashRestart' \
 		./internal/rpc/... ./internal/collective/... ./internal/cluster/... \
 		./internal/store/...
+
+# Checkpoint/restore end-to-end smoke: optimizer-state round trips are
+# bitwise, v1 files still load, trailing/truncated bytes fail loudly, and
+# resume parity holds — N epochs uninterrupted vs k + checkpoint + a fresh
+# process running N−k must be bit-identical on a single machine (Adam and
+# SGD) and across a k=3 cluster (whole-graph and mini-batch).
+checkpoint-smoke:
+	$(GO) test -count=1 \
+		-run 'Checkpoint|ResumeParity|StateRoundTrip|V1BackwardCompat|Trailing|Truncated|Mismatch|LearningRate' \
+		./internal/nn/... ./internal/nau/... ./internal/cluster/...
 
 # Observability end-to-end smoke: a multi-worker loopback epoch with
 # tracing and metrics on must yield a parseable Chrome trace with epoch,

@@ -19,7 +19,6 @@ import (
 	"repro/internal/engine"
 	"repro/internal/models"
 	"repro/internal/nau"
-	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
@@ -33,9 +32,11 @@ func main() {
 	epochs := flag.Int("epochs", 30, "training epochs")
 	lr := flag.Float64("lr", 0.01, "Adam learning rate")
 	strategyName := flag.String("strategy", "HA", "execution strategy: SA, SA+FA or HA")
-	checkpoint := flag.String("checkpoint", "", "write a checkpoint to this path every -checkpoint-every epochs")
+	checkpoint := flag.String("checkpoint", "",
+		"write a full training-state checkpoint (params + optimizer + epoch + RNG, format v2) to this path every -checkpoint-every epochs")
 	checkpointEvery := flag.Int("checkpoint-every", 5, "epochs between checkpoints")
-	resume := flag.String("resume", "", "load parameters from this checkpoint before training")
+	resume := flag.String("resume", "",
+		"resume training from this checkpoint: params, optimizer state, epoch counter and RNG stream continue where the snapshot left off (-epochs is the TOTAL target, so a run checkpointed at epoch k trains k+1..epochs); legacy v1 checkpoints restore weights only")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -105,14 +106,14 @@ func main() {
 	})
 
 	if *resume != "" {
-		if err := nn.LoadCheckpoint(*resume, model.Parameters()); err != nil {
+		if err := tr.LoadCheckpoint(*resume); err != nil {
 			log.Fatalf("resume: %v", err)
 		}
-		fmt.Println("resumed from", *resume)
+		fmt.Printf("resumed from %s at epoch %d\n", *resume, tr.CompletedEpochs())
 	}
 
 	start := time.Now()
-	for epoch := 1; epoch <= *epochs; epoch++ {
+	for epoch := tr.CompletedEpochs() + 1; epoch <= *epochs; epoch++ {
 		loss, err := tr.Epoch()
 		if err != nil {
 			log.Fatalf("epoch %d: %v", epoch, err)
@@ -126,7 +127,7 @@ func main() {
 				epoch, loss, acc, time.Since(start).Round(time.Millisecond))
 		}
 		if *checkpoint != "" && epoch%*checkpointEvery == 0 {
-			if err := nn.SaveCheckpoint(*checkpoint, model.Parameters()); err != nil {
+			if err := tr.SaveCheckpoint(*checkpoint); err != nil {
 				fmt.Fprintln(os.Stderr, "checkpoint:", err)
 			}
 		}

@@ -43,6 +43,12 @@ func main() {
 	samplers := flag.Int("samplers", 2,
 		"concurrent sampler workers in mini-batch mode, independent of the trainer's kernel parallelism")
 	seed := flag.Uint64("seed", 1, "random seed (must match across workers)")
+	lr := flag.Float64("lr", 0.01, "Adam learning rate (must match across workers)")
+	checkpoint := flag.String("checkpoint", "",
+		"persist the full training state (params + optimizer + epoch) to this path at epoch boundaries: all ranks fence, rank 0 writes one consistent snapshot atomically ('' disables; the path only needs to exist on rank 0's filesystem)")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "epochs between cluster checkpoints")
+	resume := flag.String("resume", "",
+		"resume from this checkpoint before the startup barrier: every rank restores params/optimizer/epoch so epoch numbering and sampling seeds continue where the snapshot left off; -epochs counts ADDITIONAL epochs ('' starts fresh)")
 	gradSync := flag.String("gradsync", "ring", "gradient all-reduce: ring (≤2·|payload| bytes/worker) or broadcast ((k−1)·|payload|)")
 	ringChunk := flag.Int("ringchunk", 0, "ring all-reduce segment size in float32 words (0 = default)")
 	dialRetries := flag.Int("dial-retries", 0, "mesh dial attempts per peer (0 = default)")
@@ -143,18 +149,25 @@ func main() {
 			SamplerWorkers: *samplers,
 		}
 	}
+	var ck *cluster.CheckpointConfig
+	if *checkpoint != "" {
+		ck = &cluster.CheckpointConfig{Path: *checkpoint, Every: *checkpointEvery}
+	}
 	cfg := cluster.Config{
-		NumWorkers:  len(addrs),
-		Pipeline:    *pipeline,
-		Strategy:    engine.StrategyHA,
-		Epochs:      *epochs,
-		Seed:        *seed,
-		GradSync:    gs,
-		RingChunk:   *ringChunk,
-		RecvTimeout: *recvTimeout,
-		Tracer:      tracer,
-		Metrics:     reg,
-		MiniBatch:   mb,
+		NumWorkers:   len(addrs),
+		Pipeline:     *pipeline,
+		Strategy:     engine.StrategyHA,
+		Epochs:       *epochs,
+		Seed:         *seed,
+		GradSync:     gs,
+		RingChunk:    *ringChunk,
+		RecvTimeout:  *recvTimeout,
+		Tracer:       tracer,
+		Metrics:      reg,
+		MiniBatch:    mb,
+		LearningRate: float32(*lr),
+		Checkpoint:   ck,
+		Resume:       *resume,
 		OnEpoch: func(epoch int, loss float32, balance *flexgraph.BalanceReport) {
 			// Rank 0 prints the Fig. 14-style per-rank stage table each
 			// epoch: every rank's stage seconds ride the gradient fence,

@@ -167,6 +167,10 @@ type (
 	// MiniBatchConfig switches distributed training to mini-batch rounds
 	// with a prefetching sampler (ClusterConfig.MiniBatch).
 	MiniBatchConfig = cluster.MiniBatchConfig
+	// ClusterCheckpointConfig enables fenced cluster snapshots
+	// (ClusterConfig.Checkpoint): all ranks barrier at the epoch boundary
+	// and rank 0 persists one consistent training state.
+	ClusterCheckpointConfig = cluster.CheckpointConfig
 )
 
 // Data-plane types: the store interfaces decouple *what* the trainer reads
@@ -343,6 +347,13 @@ var (
 type (
 	// Optimizer updates parameters from accumulated gradients.
 	Optimizer = nn.Optimizer
+	// StatefulOptimizer is an Optimizer whose internal state (step counter,
+	// moment buffers) can be captured and restored for resume-correct
+	// checkpointing.
+	StatefulOptimizer = nn.StatefulOptimizer
+	// OptState is a snapshot of an optimizer's kind, hyperparameters and
+	// internal state.
+	OptState = nn.OptState
 )
 
 // Optimizer constructors, for callers that want to replace a Trainer's
@@ -365,8 +376,26 @@ var (
 	SaveCheckpoint = nn.SaveCheckpoint
 	// LoadCheckpoint restores model parameters from a file.
 	LoadCheckpoint = nn.LoadCheckpoint
+	// SaveTrainingState writes a full v2 checkpoint (params + optimizer +
+	// epoch + RNG) to a file atomically.
+	SaveTrainingState = nn.SaveStateFile
+	// LoadTrainingState restores a full checkpoint written by
+	// SaveTrainingState; legacy v1 files restore weights only.
+	LoadTrainingState = nn.LoadStateFile
 	// LoadDataset reads a serialised dataset (.fgds) from a file.
 	LoadDataset = dataset.Load
+)
+
+// Checkpoint state and typed load errors.
+type (
+	// TrainState bundles everything a v2 checkpoint carries.
+	TrainState = nn.TrainState
+	// CheckpointFormatError reports a structurally invalid checkpoint
+	// (bad magic, unknown version, truncation, trailing bytes).
+	CheckpointFormatError = nn.FormatError
+	// CheckpointMismatchError reports a checkpoint that is well-formed but
+	// does not match the receiver (optimizer kind, parameter count, shape).
+	CheckpointMismatchError = nn.MismatchError
 )
 
 // Level-wise aggregation (the paper's Fig. 6 driver).

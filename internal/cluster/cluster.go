@@ -80,6 +80,32 @@ type Config struct {
 	// prefetch ahead of training (sampler and trainer concurrency are
 	// configured independently).
 	MiniBatch *MiniBatchConfig
+	// LearningRate sets every replica's Adam learning rate (0 keeps the
+	// historical default of 0.01).
+	LearningRate float32
+	// Checkpoint, when non-nil, persists the complete training state
+	// (params + optimizer + epoch + RNG) at epoch boundaries: all ranks
+	// fence on a barrier, then rank 0 — whose replica is bit-identical to
+	// every other after the gradient all-reduce — writes one consistent
+	// snapshot atomically. Resuming from it restores the optimizer
+	// trajectory, epoch numbering and hence the per-(epoch, vertex)
+	// sampling seeds.
+	Checkpoint *CheckpointConfig
+	// Resume, when non-empty, restores params/optimizer/epoch on every
+	// rank from this checkpoint path before the startup barrier, so the
+	// run continues exactly where the snapshot left off. Epochs then
+	// counts ADDITIONAL epochs to run. Legacy v1 checkpoints resume
+	// weights only (epoch numbering restarts at 0).
+	Resume string
+}
+
+// CheckpointConfig configures the cluster's fenced epoch-boundary
+// snapshots (the paper's Fig. 12 fault-tolerance module).
+type CheckpointConfig struct {
+	// Path is where rank 0 writes the snapshot (atomic rename, fsynced).
+	Path string
+	// Every is the number of epochs between snapshots (<= 0 selects 1).
+	Every int
 }
 
 // MiniBatchConfig configures the cluster's mini-batch training mode. Each
@@ -168,7 +194,10 @@ func Train(cfg Config, d *dataset.Dataset, factory ModelFactory) (*Result, error
 		}
 		wg.Wait()
 		if err := firstEpochError(errs); err.err != nil {
-			return nil, fmt.Errorf("cluster: worker %d epoch %d: %w", err.rank, epoch, err.err)
+			// Report the worker's own epoch counter: with Resume it is
+			// offset from the loop index by the checkpoint's epoch.
+			return nil, fmt.Errorf("cluster: worker %d epoch %d: %w",
+				err.rank, workers[err.rank].epoch, err.err)
 		}
 		res.Losses = append(res.Losses, losses[0])
 		res.EpochTimes = append(res.EpochTimes, time.Since(start))
@@ -198,10 +227,12 @@ func RunWorker(cfg Config, d *dataset.Dataset, factory ModelFactory, tr rpc.Tran
 	if err != nil {
 		return nil, nil, err
 	}
-	// Fence the mesh before epoch 0: every worker must be connected and
-	// ready before the first plan exchange, and a broken link surfaces
-	// here as a barrier error rather than a mid-epoch hang.
-	if err := w.comm.Barrier(collective.Fence{Epoch: 0, Phase: 0}); err != nil {
+	// Fence the mesh before the first epoch: every worker must be connected
+	// and ready before the first plan exchange, and a broken link surfaces
+	// here as a barrier error rather than a mid-epoch hang. The fence epoch
+	// is the (possibly resumed) starting epoch so a restarted cluster's
+	// barrier never collides with checkpoint fences it ran before crashing.
+	if err := w.comm.Barrier(collective.Fence{Epoch: w.epoch, Phase: 0}); err != nil {
 		w.abortPeers(err)
 		tr.Close()
 		return nil, nil, fmt.Errorf("cluster: worker %d startup barrier: %w", tr.Rank(), err)
@@ -214,7 +245,7 @@ func RunWorker(cfg Config, d *dataset.Dataset, factory ModelFactory, tr rpc.Tran
 			// transport so peers blocked mid-frame see the link drop too.
 			w.abortPeers(err)
 			tr.Close()
-			return nil, nil, fmt.Errorf("cluster: worker %d epoch %d: %w", tr.Rank(), epoch, err)
+			return nil, nil, fmt.Errorf("cluster: worker %d epoch %d: %w", tr.Rank(), w.epoch, err)
 		}
 		losses = append(losses, loss)
 	}
@@ -277,6 +308,10 @@ func newWorker(rank int, cfg Config, d *dataset.Dataset, factory ModelFactory, t
 	rng := tensor.NewRNG(cfg.Seed)
 	model := factory(rng)
 	params := model.Parameters()
+	lr := cfg.LearningRate
+	if lr == 0 {
+		lr = 0.01
+	}
 	breakdown := &metrics.Breakdown{}
 	// Observability plumbing: the transport reports send latency and dial
 	// retries to the registry when it knows how; the collective plane tags
@@ -304,7 +339,7 @@ func newWorker(rank int, cfg Config, d *dataset.Dataset, factory ModelFactory, t
 		trainMask: d.TrainMask,
 		model:     model,
 		params:    params,
-		opt:       nn.NewAdam(params, 0.01),
+		opt:       nn.NewAdam(params, lr),
 		eng:       engine.New(cfg.Strategy),
 		rng:       tensor.NewRNG(cfg.Seed + 1000),
 		breakdown: breakdown,
@@ -367,6 +402,21 @@ func newWorker(rank int, cfg Config, d *dataset.Dataset, factory ModelFactory, t
 			Metrics: cfg.Metrics,
 			Rank:    int32(rank),
 		})
+	}
+	if cfg.Resume != "" {
+		// Restore the full training state before any collective runs: the
+		// epoch counter drives the per-(epoch, vertex) selection seeds and
+		// the mini-batch round fences, so every rank must agree on it from
+		// the first message. Every rank reads the same snapshot — replicas
+		// were bit-identical when it was written, so they are again now.
+		st := &nn.TrainState{Params: params, Opt: w.opt}
+		if err := nn.LoadStateFile(cfg.Resume, st); err != nil {
+			return nil, fmt.Errorf("cluster: worker %d resume %s: %w", rank, cfg.Resume, err)
+		}
+		w.epoch = int32(st.Epoch)
+		if st.HasRNG {
+			w.rng.SetState(st.RNG)
+		}
 	}
 	return w, nil
 }
@@ -472,7 +522,48 @@ func (w *worker) runEpoch() (loss float32, err error) {
 		}
 	}
 	w.epoch++
+	if err := w.maybeCheckpoint(); err != nil {
+		return 0, err
+	}
 	return globalLoss, nil
+}
+
+// maybeCheckpoint persists the training state at a checkpoint boundary.
+// All ranks fence first: a snapshot only becomes durable once every rank
+// has finished the epoch, so a checkpoint on disk always names an epoch the
+// WHOLE cluster completed. After syncGradients + the shared optimizer step
+// the replicas are bit-identical, so rank 0's state is the cluster's state
+// and one atomic write (temp + fsync + rename) suffices; a crash mid-write
+// leaves the previous snapshot intact.
+func (w *worker) maybeCheckpoint() error {
+	ck := w.cfg.Checkpoint
+	if ck == nil || ck.Path == "" {
+		return nil
+	}
+	every := ck.Every
+	if every <= 0 {
+		every = 1
+	}
+	if int(w.epoch)%every != 0 {
+		return nil
+	}
+	if err := w.comm.Barrier(collective.Fence{Epoch: w.epoch, Phase: 0}); err != nil {
+		return fmt.Errorf("cluster: checkpoint fence at epoch %d: %w", w.epoch, err)
+	}
+	if w.rank != 0 {
+		return nil
+	}
+	st := &nn.TrainState{
+		Params: w.params,
+		Opt:    w.opt,
+		Epoch:  int(w.epoch),
+		RNG:    w.rng.State(),
+		HasRNG: true,
+	}
+	if err := nn.SaveStateFile(ck.Path, st); err != nil {
+		return fmt.Errorf("cluster: checkpoint write at epoch %d: %w", w.epoch, err)
+	}
+	return nil
 }
 
 // wholeGraphEpoch runs the paper's full-graph epoch: neighbor selection,

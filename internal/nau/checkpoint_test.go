@@ -1,0 +1,136 @@
+package nau
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// resumeTrainer builds a fresh deterministic trainer; calling it twice with
+// the same arguments simulates two independent processes starting from the
+// same seed.
+func resumeTrainer(cache CachePolicy, newOpt func([]*nn.Value) nn.Optimizer) *Trainer {
+	g := ringGraph(32)
+	rng := tensor.NewRNG(50)
+	feats := tensor.RandN(rng, 1, 32, 4)
+	labels := make([]int32, 32)
+	for i := range labels {
+		labels[i] = int32(i / 16)
+		feats.Set(feats.At(i, int(labels[i]))+2, i, int(labels[i]))
+	}
+	m := &Model{
+		Name:   "dummy",
+		Layers: []Layer{newDummyLayer(4, 8, true, rng), newDummyLayer(8, 2, false, rng)},
+		Cache:  cache,
+	}
+	return NewTrainerWith(m, TrainerOptions{
+		Graph: g, Features: feats, Labels: labels, Seed: 51, NewOptimizer: newOpt,
+	})
+}
+
+// TestTrainerResumeParity is the single-machine resume guarantee: N epochs
+// uninterrupted vs k epochs + checkpoint + a FRESH trainer restored from the
+// file + N−k more epochs must produce bit-identical per-epoch losses and
+// final parameters. Covered for both optimizers and both cache policies
+// (CachePerEpoch re-consumes the trainer RNG stream every epoch, so it
+// exercises the RNGS section; CacheForever exercises the plain path).
+func TestTrainerResumeParity(t *testing.T) {
+	const split, total = 3, 6
+	adam := func(p []*nn.Value) nn.Optimizer { return nn.NewAdam(p, 0.02) }
+	sgd := func(p []*nn.Value) nn.Optimizer { return nn.NewSGD(p, 0.1) }
+	cases := []struct {
+		name   string
+		cache  CachePolicy
+		newOpt func([]*nn.Value) nn.Optimizer
+	}{
+		{"adam/per-epoch", CachePerEpoch, adam},
+		{"adam/forever", CacheForever, adam},
+		{"sgd/per-epoch", CachePerEpoch, sgd},
+		{"sgd/forever", CacheForever, sgd},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Reference: uninterrupted run.
+			ref := resumeTrainer(tc.cache, tc.newOpt)
+			var refLosses []float32
+			for e := 0; e < total; e++ {
+				loss, err := ref.Epoch()
+				if err != nil {
+					t.Fatal(err)
+				}
+				refLosses = append(refLosses, loss)
+			}
+
+			// Interrupted run: k epochs, checkpoint, then a fresh trainer
+			// (fresh process) restores and finishes.
+			path := t.TempDir() + "/resume.fgck"
+			first := resumeTrainer(tc.cache, tc.newOpt)
+			for e := 0; e < split; e++ {
+				loss, err := first.Epoch()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if loss != refLosses[e] {
+					t.Fatalf("pre-checkpoint epoch %d: loss %v != reference %v", e+1, loss, refLosses[e])
+				}
+			}
+			if err := first.SaveCheckpoint(path); err != nil {
+				t.Fatal(err)
+			}
+
+			second := resumeTrainer(tc.cache, tc.newOpt)
+			if err := second.LoadCheckpoint(path); err != nil {
+				t.Fatal(err)
+			}
+			if got := second.CompletedEpochs(); got != split {
+				t.Fatalf("CompletedEpochs after resume: got %d, want %d", got, split)
+			}
+			for e := split; e < total; e++ {
+				loss, err := second.Epoch()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if loss != refLosses[e] {
+					t.Fatalf("resumed epoch %d: loss %v != reference %v", e+1, loss, refLosses[e])
+				}
+			}
+			if !nn.ParamsEqual(second.Model.Parameters(), ref.Model.Parameters()) {
+				t.Fatal("final parameters diverged after resume")
+			}
+		})
+	}
+}
+
+// TestTrainerResumeRejectsWrongModel: restoring a checkpoint into a trainer
+// whose model has different shapes must fail with a typed error, not corrupt
+// the weights.
+func TestTrainerResumeRejectsWrongModel(t *testing.T) {
+	tr := resumeTrainer(CacheForever, nil)
+	if _, err := tr.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/m.fgck"
+	if err := tr.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	g := ringGraph(16)
+	rng := tensor.NewRNG(1)
+	other := &Model{
+		Name:   "other",
+		Layers: []Layer{newDummyLayer(4, 5, true, rng), newDummyLayer(5, 2, false, rng)},
+	}
+	wrong := NewTrainerWith(other, TrainerOptions{
+		Graph:    g,
+		Features: tensor.RandN(rng, 1, 16, 4),
+		Labels:   make([]int32, 16),
+		Seed:     2,
+	})
+	if err := wrong.LoadCheckpoint(path); err == nil {
+		t.Fatal("mismatched model resumed successfully")
+	}
+	if got := wrong.CompletedEpochs(); got != 0 {
+		t.Fatalf("failed resume advanced the epoch counter to %d", got)
+	}
+}

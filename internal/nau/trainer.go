@@ -150,6 +150,49 @@ func NewTrainer(m *Model, g *graph.Graph, feats *tensor.Tensor, labels []int32, 
 	})
 }
 
+// CompletedEpochs reports how many training epochs the trainer has run.
+// A resumed trainer continues numbering (and per-epoch HDG cache drops)
+// from here.
+func (t *Trainer) CompletedEpochs() int { return t.epoch }
+
+// SaveCheckpoint writes the trainer's complete training state — model
+// parameters, the optimizer's kind/hyperparameters/state, the epoch
+// counter and the RNG stream position — to path atomically (checkpoint
+// format v2). A run resumed with LoadCheckpoint takes bit-identical steps
+// to one that never stopped.
+func (t *Trainer) SaveCheckpoint(path string) error {
+	return nn.SaveStateFile(path, &nn.TrainState{
+		Params: t.Model.Parameters(),
+		Opt:    t.Opt,
+		Epoch:  t.epoch,
+		RNG:    t.RNG.State(),
+		HasRNG: true,
+	})
+}
+
+// LoadCheckpoint restores training state from path. v2 checkpoints restore
+// parameters, optimizer state, the epoch counter and the RNG stream; legacy
+// v1 checkpoints restore weights only (the optimizer, epoch counter and RNG
+// keep their current values). Any cached HDG is dropped: it was selected
+// under the pre-restore RNG stream, and CacheForever models rebuild an
+// identical one only when their selection UDF is deterministic.
+func (t *Trainer) LoadCheckpoint(path string) error {
+	st := &nn.TrainState{Params: t.Model.Parameters(), Opt: t.Opt}
+	if err := nn.LoadStateFile(path, st); err != nil {
+		return err
+	}
+	t.epoch = st.Epoch
+	if st.HasRNG {
+		t.RNG.SetState(st.RNG)
+	}
+	t.cachedHDG = nil
+	t.hdgUsed = false
+	if t.ctx != nil {
+		t.ctx.InvalidateHDG(nil)
+	}
+	return nil
+}
+
 // ensureHDG runs NeighborSelection according to the model's cache policy.
 func (t *Trainer) ensureHDG() error {
 	if !t.Model.NeedsHDG() {

@@ -1,0 +1,285 @@
+package nn
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// ckptFixture builds a two-parameter model with deterministic weights and a
+// gradient generator that is a pure function of the step index, so two
+// optimizers fed the same steps are comparable bit for bit.
+func ckptFixture(seed uint64) []*Value {
+	rng := tensor.NewRNG(seed)
+	return []*Value{
+		Param(tensor.RandN(rng, 1, 3, 2)),
+		Param(tensor.RandN(rng, 1, 2)),
+	}
+}
+
+// applyGrad installs a deterministic pseudo-gradient for step s.
+func applyGrad(params []*Value, s int) {
+	rng := tensor.NewRNG(uint64(1000 + s))
+	for _, p := range params {
+		p.Grad = tensor.RandN(rng, 1, p.Data.Shape()...)
+	}
+}
+
+func requireParamsEqual(t *testing.T, a, b []*Value, what string) {
+	t.Helper()
+	if !ParamsEqual(a, b) {
+		t.Fatalf("%s: parameters diverged", what)
+	}
+}
+
+// TestAdamStateRoundTripBitwise is the core resume-parity property at the
+// optimizer level: snapshot Adam mid-run through the v2 wire format, restore
+// into a fresh optimizer, and every subsequent step must match the
+// uninterrupted optimizer bit for bit.
+func TestAdamStateRoundTripBitwise(t *testing.T) {
+	ref := ckptFixture(7)
+	refOpt := NewAdam(ref, 0.05)
+	resumed := ckptFixture(7)
+	resumedOpt := NewAdam(resumed, 0.05)
+
+	const split, total = 3, 8
+	for s := 0; s < split; s++ {
+		applyGrad(ref, s)
+		refOpt.Step()
+		applyGrad(resumed, s)
+		resumedOpt.Step()
+	}
+
+	// Round-trip the full training state through the serialised format, not
+	// just StateSave/StateLoad in memory.
+	var buf bytes.Buffer
+	if err := SaveState(&buf, &TrainState{Params: resumed, Opt: resumedOpt, Epoch: split}); err != nil {
+		t.Fatal(err)
+	}
+	fresh := ckptFixture(99) // different init: everything must come from the file
+	freshOpt := NewAdam(fresh, 0.9)
+	st := &TrainState{Params: fresh, Opt: freshOpt}
+	if err := LoadState(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != split {
+		t.Fatalf("epoch: got %d, want %d", st.Epoch, split)
+	}
+	requireParamsEqual(t, fresh, resumed, "restored params")
+	if freshOpt.LR != 0.05 {
+		t.Fatalf("restored LR: got %v, want 0.05", freshOpt.LR)
+	}
+
+	for s := split; s < total; s++ {
+		applyGrad(ref, s)
+		refOpt.Step()
+		applyGrad(fresh, s)
+		freshOpt.Step()
+	}
+	requireParamsEqual(t, fresh, ref, "post-resume Adam trajectory")
+}
+
+// TestSGDStateRoundTrip covers the trivial-state optimizer through the same
+// save/load path.
+func TestSGDStateRoundTrip(t *testing.T) {
+	params := ckptFixture(11)
+	opt := NewSGD(params, 0.25)
+	opt.WeightDecay = 0.01
+	var buf bytes.Buffer
+	if err := SaveState(&buf, &TrainState{Params: params, Opt: opt, Epoch: 4}); err != nil {
+		t.Fatal(err)
+	}
+	restored := ckptFixture(12)
+	restoredOpt := NewSGD(restored, 0.5)
+	st := &TrainState{Params: restored, Opt: restoredOpt}
+	if err := LoadState(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	if restoredOpt.LR != 0.25 || restoredOpt.WeightDecay != 0.01 {
+		t.Fatalf("SGD hyperparams not restored: lr=%v wd=%v", restoredOpt.LR, restoredOpt.WeightDecay)
+	}
+	requireParamsEqual(t, restored, params, "SGD round trip")
+}
+
+// TestStateRoundTripRNG checks the RNG section is carried exactly.
+func TestStateRoundTripRNG(t *testing.T) {
+	params := ckptFixture(13)
+	rng := tensor.NewRNG(42)
+	rng.Float32() // advance the stream off its seed position
+	var buf bytes.Buffer
+	err := SaveState(&buf, &TrainState{Params: params, Epoch: 2, RNG: rng.State(), HasRNG: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &TrainState{Params: ckptFixture(13)}
+	if err := LoadState(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasRNG || st.RNG != rng.State() {
+		t.Fatalf("RNG state: got (%v,%d), want (true,%d)", st.HasRNG, st.RNG, rng.State())
+	}
+}
+
+// TestV1BackwardCompat: a legacy weights-only file must still load — weights
+// restored, epoch left at zero, optimizer untouched.
+func TestV1BackwardCompat(t *testing.T) {
+	params := ckptFixture(17)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	restored := ckptFixture(18)
+	opt := NewAdam(restored, 0.05)
+	applyGrad(restored, 0)
+	opt.Step() // give the optimizer non-zero state that must survive
+	wantStep := opt.StateSave().Step
+	st := &TrainState{Params: restored, Opt: opt, Epoch: -1}
+	st.Epoch = 0
+	if err := LoadState(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	requireParamsEqual(t, restored, params, "v1 weights")
+	if st.Epoch != 0 || st.HasRNG {
+		t.Fatalf("v1 load must not invent state: epoch=%d hasRNG=%v", st.Epoch, st.HasRNG)
+	}
+	if got := opt.StateSave().Step; got != wantStep {
+		t.Fatalf("v1 load touched the optimizer: step %d -> %d", wantStep, got)
+	}
+}
+
+// TestLoadParamsAcceptsV2 proves params-only readers (serving) can consume
+// full training-state checkpoints: only PRMS is read, the rest is skipped.
+func TestLoadParamsAcceptsV2(t *testing.T) {
+	params := ckptFixture(19)
+	opt := NewAdam(params, 0.05)
+	var buf bytes.Buffer
+	err := SaveState(&buf, &TrainState{Params: params, Opt: opt, Epoch: 9, RNG: 5, HasRNG: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := ckptFixture(20)
+	if err := LoadParams(&buf, restored); err != nil {
+		t.Fatal(err)
+	}
+	requireParamsEqual(t, restored, params, "params-only v2 read")
+}
+
+// TestTrailingBytesRejected: bytes after the checkpoint body are a typed
+// *FormatError for both formats — a concatenated or garbage-tailed file must
+// not half-load as success.
+func TestTrailingBytesRejected(t *testing.T) {
+	params := ckptFixture(21)
+	for _, tc := range []struct {
+		name string
+		save func(*bytes.Buffer) error
+	}{
+		{"v1", func(b *bytes.Buffer) error { return SaveParams(b, params) }},
+		{"v2", func(b *bytes.Buffer) error { return SaveState(b, &TrainState{Params: params}) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			buf.WriteByte(0xFF)
+			err := LoadState(bytes.NewReader(buf.Bytes()), &TrainState{Params: ckptFixture(21)})
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("trailing byte: got %v, want *FormatError", err)
+			}
+		})
+	}
+}
+
+// TestTruncatedCheckpointFails: every strict prefix of a valid checkpoint
+// must fail to load (no silent partial restore).
+func TestTruncatedCheckpointFails(t *testing.T) {
+	params := ckptFixture(22)
+	opt := NewAdam(params, 0.05)
+	var buf bytes.Buffer
+	err := SaveState(&buf, &TrainState{Params: params, Opt: opt, Epoch: 3, RNG: 1, HasRNG: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 3, 4, 8, 12, len(full) / 2, len(full) - 1} {
+		if err := LoadState(bytes.NewReader(full[:cut]), &TrainState{Params: ckptFixture(22), Opt: NewAdam(ckptFixture(22), 0.05)}); err == nil {
+			t.Fatalf("truncation at %d of %d bytes loaded successfully", cut, len(full))
+		}
+	}
+}
+
+// TestOptimizerKindMismatch: an Adam checkpoint restored into SGD (and vice
+// versa) is a typed *MismatchError.
+func TestOptimizerKindMismatch(t *testing.T) {
+	params := ckptFixture(23)
+	var buf bytes.Buffer
+	err := SaveState(&buf, &TrainState{Params: params, Opt: NewAdam(params, 0.05)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := ckptFixture(23)
+	err = LoadState(&buf, &TrainState{Params: restored, Opt: NewSGD(restored, 0.1)})
+	var me *MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("adam->sgd: got %v, want *MismatchError", err)
+	}
+}
+
+// TestAdamMomentShapeMismatch: restoring moments whose shapes disagree with
+// the receiving optimizer's parameters is a typed *MismatchError and leaves
+// the optimizer untouched.
+func TestAdamMomentShapeMismatch(t *testing.T) {
+	small := []*Value{Param(tensor.New(2, 2))}
+	big := []*Value{Param(tensor.New(3, 3))}
+	st := NewAdam(small, 0.05).StateSave()
+	dst := NewAdam(big, 0.01)
+	err := dst.StateLoad(st)
+	var me *MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("shape mismatch: got %v, want *MismatchError", err)
+	}
+	if dst.LR != 0.01 {
+		t.Fatalf("failed StateLoad mutated the optimizer: lr=%v", dst.LR)
+	}
+}
+
+// TestSaveStateFileDurable exercises the file path (temp + fsync + rename)
+// and that a truncated file on disk fails loudly on load.
+func TestSaveStateFileDurable(t *testing.T) {
+	params := ckptFixture(24)
+	opt := NewAdam(params, 0.05)
+	path := t.TempDir() + "/state.fgck"
+	err := SaveStateFile(path, &TrainState{Params: params, Opt: opt, Epoch: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	restored := ckptFixture(25)
+	st := &TrainState{Params: restored, Opt: NewAdam(restored, 0.05)}
+	if err := LoadStateFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 5 {
+		t.Fatalf("epoch: got %d, want 5", st.Epoch)
+	}
+	requireParamsEqual(t, restored, params, "file round trip")
+
+	// Simulate a torn write landing at the final path (e.g. a copy that
+	// died): the loader must reject it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadStateFile(path, st); err == nil {
+		t.Fatal("truncated on-disk checkpoint loaded successfully")
+	}
+}

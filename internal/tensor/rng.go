@@ -55,6 +55,13 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xdeadbeefcafef00d)
 }
 
+// State returns the generator's current position in its stream, so a
+// checkpointed training run can resume drawing exactly where it left off.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState repositions the generator at a state captured with State.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
