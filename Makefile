@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci build test race chaos trace-smoke serve-smoke sampler-smoke \
-	checkpoint-smoke vet fmt bench bench-comm bench-kernels-diff bench-smoke \
-	bench-sampler
+.PHONY: ci build test race chaos trace-smoke telemetry-smoke serve-smoke \
+	sampler-smoke checkpoint-smoke vet fmt bench bench-comm \
+	bench-kernels-diff bench-smoke bench-sampler
 
-ci: vet fmt race chaos trace-smoke serve-smoke sampler-smoke checkpoint-smoke \
-	test bench-smoke
+ci: vet fmt race chaos trace-smoke telemetry-smoke serve-smoke sampler-smoke \
+	checkpoint-smoke test bench-smoke
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ race: chaos
 	$(GO) test -race ./internal/tensor/... ./internal/engine/... \
 		./internal/rpc/... ./internal/collective/... ./internal/cluster/... \
 		./internal/metrics/... ./internal/trace/... ./internal/serve/... \
-		./internal/store/...
+		./internal/store/... ./internal/telemetry/...
 
 # Fault-injection chaos tests, uncached and under the race detector: crash a
 # worker mid-epoch, expire receive deadlines, inject drops/dups/delays, and
@@ -51,6 +51,18 @@ checkpoint-smoke:
 trace-smoke:
 	$(GO) test -count=1 -run 'TraceSmoke|BalanceReport' \
 		./internal/cluster/... ./internal/trace/... ./internal/metrics/...
+
+# Telemetry-plane end-to-end smoke: a 3-rank loopback run with per-rank
+# tracers must leave one merged Chrome trace on rank 0 with clock-aligned
+# epoch/fence spans from every rank and resolved cross-rank flow links,
+# plus a cluster-wide /metrics view; the chaos variant injects a transport
+# crash and asserts every rank leaves a parseable flight-<rank>.json that
+# merges offline the way cmd/flexgraph-trace does.
+telemetry-smoke:
+	$(GO) test -count=1 \
+		-run 'TelemetrySmoke|TelemetryFlightOnCrash|ClockSync|PushEpoch|FlightFile|FlightWorthy|Releases|ShutdownNoGoroutineLeak' \
+		./internal/cluster/... ./internal/telemetry/... ./internal/trace/... \
+		./internal/store/...
 
 # Inference-serving end-to-end smoke: start the server on a real listener,
 # fire a concurrent HTTP query burst, and assert the replies are well-formed

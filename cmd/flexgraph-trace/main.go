@@ -1,0 +1,172 @@
+// Command flexgraph-trace merges per-rank telemetry artifacts into one
+// Chrome trace-event file, offline — the same merge rank 0's live
+// collector performs, for when the cluster died before it could.
+//
+//	flexgraph-trace -o merged.json flight-0.json flight-1.json flight-2.json
+//	flexgraph-trace -o merged.json ./flightdir      # globs flight-*.json
+//	flexgraph-trace -o merged.json worker0.jsonl worker1.jsonl
+//
+// Inputs may be flight-recorder dumps (flight-<rank>.json, written on
+// abort/timeout/crash when -flight-dir is set) or /trace JSONL exports.
+// If any dump carries rank 0's clock-offset table from the live RTT
+// handshake, every rank's spans are shifted onto rank 0's clock before
+// merging; spans are deduplicated by span ID across inputs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	flexgraph "repro"
+)
+
+func main() {
+	out := flag.String("o", "merged-trace.json", "output Chrome trace-event file")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: flexgraph-trace [-o out.json] <flight-*.json | spans.jsonl | dir>...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var paths []string
+	for _, arg := range flag.Args() {
+		info, err := os.Stat(arg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if info.IsDir() {
+			matches, _ := filepath.Glob(filepath.Join(arg, "flight-*.json"))
+			if len(matches) == 0 {
+				log.Fatalf("%s: no flight-*.json dumps found", arg)
+			}
+			paths = append(paths, matches...)
+			continue
+		}
+		paths = append(paths, arg)
+	}
+
+	var (
+		spans   []flexgraph.TraceSpan
+		offsets map[int32]int64
+		causes  []string
+	)
+	for _, path := range paths {
+		if d, err := flexgraph.ReadFlightFile(path); err == nil && (d.Spans != nil || d.Cause != "") {
+			spans = append(spans, d.Spans...)
+			if len(d.Offsets) > 0 {
+				offsets = d.Offsets
+			}
+			if d.Cause != "" {
+				causes = append(causes, fmt.Sprintf("rank %d: %s", d.Rank, d.Cause))
+			}
+			fmt.Printf("%s: flight dump, rank %d, %d spans (%d dropped)\n", path, d.Rank, len(d.Spans), d.Dropped)
+			continue
+		}
+		ss, err := readJSONL(path)
+		if err != nil {
+			log.Fatalf("%s: neither a flight dump nor span JSONL: %v", path, err)
+		}
+		spans = append(spans, ss...)
+		fmt.Printf("%s: JSONL, %d spans\n", path, len(ss))
+	}
+
+	// Shift every rank onto rank 0's clock using the handshake estimates,
+	// then drop duplicate spans (the same span can appear in a live
+	// snapshot push and again in a flight dump).
+	if len(offsets) > 0 {
+		for i := range spans {
+			spans[i].Start += offsets[spans[i].Rank]
+		}
+		fmt.Printf("applied clock offsets for %d ranks\n", len(offsets))
+	}
+	type key struct {
+		id          uint64
+		rank, epoch int32
+		name        string
+		start, dur  int64
+	}
+	seen := make(map[key]bool, len(spans))
+	merged := spans[:0]
+	for _, sp := range spans {
+		k := key{id: sp.ID}
+		if sp.ID == 0 {
+			k = key{rank: sp.Rank, epoch: sp.Epoch, name: sp.Name, start: sp.Start, dur: sp.Dur}
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		merged = append(merged, sp)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Start != merged[j].Start {
+			return merged[i].Start < merged[j].Start
+		}
+		return merged[i].Rank < merged[j].Rank
+	})
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := flexgraph.WriteChromeTrace(f, merged); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	perRank := map[int32]int{}
+	for _, sp := range merged {
+		perRank[sp.Rank]++
+	}
+	var parts []string
+	ranks := make([]int32, 0, len(perRank))
+	for r := range perRank {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	for _, r := range ranks {
+		parts = append(parts, fmt.Sprintf("rank %d: %d", r, perRank[r]))
+	}
+	fmt.Printf("wrote %d spans (%s) to %s — open in Perfetto (ui.perfetto.dev) or chrome://tracing\n",
+		len(merged), strings.Join(parts, ", "), *out)
+	for _, c := range causes {
+		fmt.Printf("cause  %s\n", c)
+	}
+}
+
+// readJSONL parses a /trace export: one span JSON object per line.
+func readJSONL(path string) ([]flexgraph.TraceSpan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var spans []flexgraph.TraceSpan
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var sp flexgraph.TraceSpan
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			return nil, err
+		}
+		spans = append(spans, sp)
+	}
+	return spans, sc.Err()
+}

@@ -61,6 +61,11 @@ func main() {
 		"write this worker's span timeline as Chrome trace-event JSON to this file at exit — load it in Perfetto or chrome://tracing ('' disables)")
 	traceCap := flag.Int("trace-cap", 0,
 		"span ring capacity, rounded up to a power of two (0 = default; oldest spans are overwritten when full)")
+	telemetry := flag.Bool("telemetry", false,
+		"enable the cluster telemetry plane: every rank pushes epoch-fenced span/metrics snapshots to rank 0, which aligns per-rank clocks via an RTT handshake and serves the merged view at /metrics/cluster and /trace/cluster; with -trace-out, rank 0 writes the skew-corrected cluster-wide Perfetto timeline instead of a local one")
+	telemetryEvery := flag.Int("telemetry-every", 1, "epochs between telemetry snapshot pushes")
+	flightDir := flag.String("flight-dir", "",
+		"flight recorder directory: on an abort, timeout or crash, every surviving rank dumps its last spans, metrics and goroutine stacks to <dir>/flight-<rank>.json; merge dumps offline with flexgraph-trace ('' disables)")
 	flag.Parse()
 
 	var gs cluster.GradSync
@@ -105,16 +110,20 @@ func main() {
 	// flag asks for them. Everything goes through the public flexgraph
 	// re-exports — commands never import internal/trace.
 	var tracer *flexgraph.Tracer
-	if *traceOut != "" || *debugAddr != "" {
+	if *traceOut != "" || *debugAddr != "" || *telemetry || *flightDir != "" {
 		tracer = flexgraph.NewTracer(*traceCap)
 	}
 	var reg *flexgraph.MetricsRegistry
-	if *debugAddr != "" || *traceOut != "" {
+	if *debugAddr != "" || *traceOut != "" || *telemetry || *flightDir != "" {
 		reg = flexgraph.NewMetricsRegistry()
 		flexgraph.SetGrainHistogram(reg.Histogram("engine.grain_ns"))
 	}
+	// The mux outlives this block so rank 0's telemetry collector can mount
+	// /metrics/cluster and /trace/cluster on it once training starts
+	// (ServeMux registration is locked, so late Handle calls are safe).
+	debugMux := flexgraph.DebugMux(tracer, reg)
 	if *debugAddr != "" {
-		bound, shutdown, err := flexgraph.ServeDebug(*debugAddr, tracer, reg)
+		bound, shutdown, err := flexgraph.ServeMux(*debugAddr, debugMux)
 		if err != nil {
 			log.Fatalf("debug server: %v", err)
 		}
@@ -153,6 +162,25 @@ func main() {
 	if *checkpoint != "" {
 		ck = &cluster.CheckpointConfig{Path: *checkpoint, Every: *checkpointEvery}
 	}
+	// Telemetry plane: rank 0 collects every rank's spans and metrics; the
+	// merged skew-corrected timeline replaces rank 0's local -trace-out and
+	// the cluster-wide view is mounted on the debug mux as it comes up.
+	var tc *cluster.TelemetryConfig
+	mergedOut := ""
+	if *telemetry || *flightDir != "" {
+		if *telemetry && *rank == 0 {
+			mergedOut = *traceOut
+		}
+		tc = &cluster.TelemetryConfig{
+			Every:       *telemetryEvery,
+			FlightDir:   *flightDir,
+			MergedTrace: mergedOut,
+			OnCollector: func(col *flexgraph.TelemetryCollector) {
+				debugMux.Handle("/metrics/cluster", col.MetricsHandler())
+				debugMux.Handle("/trace/cluster", col.TraceHandler())
+			},
+		}
+	}
 	cfg := cluster.Config{
 		NumWorkers:   len(addrs),
 		Pipeline:     *pipeline,
@@ -168,6 +196,7 @@ func main() {
 		LearningRate: float32(*lr),
 		Checkpoint:   ck,
 		Resume:       *resume,
+		Telemetry:    tc,
 		OnEpoch: func(epoch int, loss float32, balance *flexgraph.BalanceReport) {
 			// Rank 0 prints the Fig. 14-style per-rank stage table each
 			// epoch: every rank's stage seconds ride the gradient fence,
@@ -189,7 +218,11 @@ func main() {
 		*rank, time.Since(start).Round(time.Millisecond),
 		breakdown.MessagesSent.Load(), breakdown.BytesSent.Load())
 	fmt.Print(breakdown.TrafficTable())
-	if *traceOut != "" {
+	switch {
+	case mergedOut != "":
+		// RunWorker already wrote the merged cluster timeline there.
+		log.Printf("worker %d wrote the merged cluster trace to %s — open in Perfetto (ui.perfetto.dev) or chrome://tracing", *rank, mergedOut)
+	case *traceOut != "":
 		if err := tracer.WriteChromeTraceFile(*traceOut); err != nil {
 			log.Fatalf("trace-out: %v", err)
 		}

@@ -47,6 +47,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/partition"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -456,6 +457,20 @@ type (
 	// BalanceReport is the per-epoch Fig. 14-style per-rank stage table
 	// assembled inside the gradient-sync fence.
 	BalanceReport = metrics.BalanceReport
+	// MetricsSnapshot is a full-fidelity copy of a registry (raw histogram
+	// buckets), mergeable into another registry via MergeSnapshot.
+	MetricsSnapshot = metrics.RegistrySnapshot
+	// TelemetryConfig turns on the cluster telemetry plane in
+	// ClusterConfig: epoch-fenced snapshot pushes to rank 0, clock
+	// alignment, and the crash flight recorder.
+	TelemetryConfig = cluster.TelemetryConfig
+	// TelemetryCollector is rank 0's merge point: skew-corrected spans and
+	// summed metrics from every rank, plus HTTP handlers for the
+	// cluster-wide views.
+	TelemetryCollector = telemetry.Collector
+	// FlightDump is one rank's crash record (span tail, metrics snapshot,
+	// goroutine stacks) — the flight-<rank>.json format.
+	FlightDump = telemetry.FlightDump
 )
 
 // Span categories on TraceSpan.Cat (timeline lanes in the Chrome export).
@@ -482,6 +497,16 @@ var (
 	// ServeDebug serves /metrics, /trace, expvar and pprof on addr and
 	// returns the bound address plus a shutdown func.
 	ServeDebug = trace.ServeDebug
+	// DebugMux builds the introspection handler without binding it, so a
+	// process can mount extra routes (rank 0 adds the collector's
+	// /metrics/cluster and /trace/cluster) before or after serving.
+	DebugMux = trace.DebugMux
+	// ServeMux serves an arbitrary handler with ServeDebug's contract.
+	ServeMux = trace.ServeMux
+	// ReadFlightFile parses a flight-<rank>.json crash dump.
+	ReadFlightFile = telemetry.ReadFlightFile
+	// FlightWorthy reports whether an error should trigger flight dumps.
+	FlightWorthy = telemetry.FlightWorthy
 	// SetGrainHistogram observes every engine aggregation grain's duration
 	// into h (nil detaches).
 	SetGrainHistogram = engine.SetGrainHistogram

@@ -17,6 +17,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/rpc"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -97,6 +98,48 @@ type Config struct {
 	// counts ADDITIONAL epochs to run. Legacy v1 checkpoints resume
 	// weights only (epoch numbering restarts at 0).
 	Resume string
+	// Telemetry, when non-nil, enables the cluster telemetry plane: each
+	// rank pushes epoch-fenced span/metrics snapshots to a rank-0
+	// collector (with a clock-offset handshake so the merged Perfetto
+	// timeline is skew-corrected), and on cluster death every survivor's
+	// flight recorder dumps its final state to FlightDir. Requires
+	// Config.Tracer and Config.Metrics for a useful cluster view; both
+	// halves degrade gracefully when either is nil.
+	Telemetry *TelemetryConfig
+
+	// sharedObs marks an in-process Train cluster, where every worker
+	// records into the one Config.Tracer/Config.Metrics: snapshot pushes
+	// then skip their payload (the collector already sees everything) and
+	// clock sync is skipped (one clock).
+	sharedObs bool
+}
+
+// TelemetryConfig configures the cluster telemetry plane (see
+// internal/telemetry).
+type TelemetryConfig struct {
+	// Every is the number of epochs between snapshot pushes to the rank-0
+	// collector (<= 0 selects 1).
+	Every int
+	// FlightDir receives flight-<rank>.json when the cluster dies of an
+	// abort/timeout/crash ("" disables the flight recorder).
+	FlightDir string
+	// MergedTrace is the path rank 0 writes the merged, skew-corrected
+	// cluster Chrome trace to — on success at run end, and on failure
+	// after folding in whatever flight dumps arrived ("" disables).
+	MergedTrace string
+	// ClockRounds overrides the RTT rounds per peer in the clock-offset
+	// handshake (0 selects the telemetry default of 4).
+	ClockRounds int
+	// FlightSpans bounds the span tail included in flight dumps (0
+	// selects the telemetry default of 256).
+	FlightSpans int
+	// DrainWait bounds how long rank 0 waits for survivors' flight dumps
+	// after a failure (0 selects the telemetry default of 250ms).
+	DrainWait time.Duration
+	// OnCollector, when non-nil, runs on rank 0 once the collector
+	// exists — the hook cmd/flexgraph-worker uses to mount
+	// /metrics/cluster and /trace/cluster on its debug mux.
+	OnCollector func(*telemetry.Collector)
 }
 
 // CheckpointConfig configures the cluster's fenced epoch-boundary
@@ -157,6 +200,10 @@ func Train(cfg Config, d *dataset.Dataset, factory ModelFactory) (*Result, error
 	netw := rpc.NewLoopbackNetwork(cfg.NumWorkers)
 	defer netw.Close()
 
+	// In-process workers share one tracer and one registry, so telemetry
+	// pushes skip their payload and the collector reads the shared state
+	// directly.
+	cfg.sharedObs = true
 	workers := make([]*worker, cfg.NumWorkers)
 	for rank := 0; rank < cfg.NumWorkers; rank++ {
 		w, err := newWorker(rank, cfg, d, factory, netw.Transport(rank))
@@ -194,6 +241,14 @@ func Train(cfg Config, d *dataset.Dataset, factory ModelFactory) (*Result, error
 		}
 		wg.Wait()
 		if err := firstEpochError(errs); err.err != nil {
+			// Flight recorder: every failed worker dumps what it saw. Rank 0
+			// goes last so the survivors' pushed dumps are already in its
+			// inbox when it drains and writes the merged timeline.
+			for rank := cfg.NumWorkers - 1; rank >= 0; rank-- {
+				if errs[rank] != nil {
+					workers[rank].tele.OnFailure(errs[rank])
+				}
+			}
 			// Report the worker's own epoch counter: with Resume it is
 			// offset from the loop index by the checkpoint's epoch.
 			return nil, fmt.Errorf("cluster: worker %d epoch %d: %w",
@@ -205,6 +260,9 @@ func Train(cfg Config, d *dataset.Dataset, factory ModelFactory) (*Result, error
 	}
 	for _, w := range workers {
 		res.Merged.Merge(w.breakdown)
+	}
+	if err := workers[0].tele.Finish(); err != nil {
+		return nil, fmt.Errorf("cluster: merged trace write: %w", err)
 	}
 	return res, nil
 }
@@ -234,6 +292,7 @@ func RunWorker(cfg Config, d *dataset.Dataset, factory ModelFactory, tr rpc.Tran
 	// barrier never collides with checkpoint fences it ran before crashing.
 	if err := w.comm.Barrier(collective.Fence{Epoch: w.epoch, Phase: 0}); err != nil {
 		w.abortPeers(err)
+		w.tele.OnFailure(err)
 		tr.Close()
 		return nil, nil, fmt.Errorf("cluster: worker %d startup barrier: %w", tr.Rank(), err)
 	}
@@ -241,13 +300,21 @@ func RunWorker(cfg Config, d *dataset.Dataset, factory ModelFactory, tr rpc.Tran
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		loss, err := w.runEpoch()
 		if err != nil {
-			// Tear the network down: broadcast the abort, then close the
-			// transport so peers blocked mid-frame see the link drop too.
+			// Tear the network down: broadcast the abort first (so peers
+			// blocked in collectives fail fast), then let the flight
+			// recorder dump local state — survivors push their dumps to
+			// rank 0, which drains briefly and writes the merged timeline —
+			// and only then close the transport, so dumps still have a
+			// link to travel on.
 			w.abortPeers(err)
+			w.tele.OnFailure(err)
 			tr.Close()
 			return nil, nil, fmt.Errorf("cluster: worker %d epoch %d: %w", tr.Rank(), w.epoch, err)
 		}
 		losses = append(losses, loss)
+	}
+	if err := w.tele.Finish(); err != nil {
+		return nil, nil, fmt.Errorf("cluster: worker %d merged trace write: %w", tr.Rank(), err)
 	}
 	return losses, w.breakdown, nil
 }
@@ -350,6 +417,24 @@ func newWorker(rank int, cfg Config, d *dataset.Dataset, factory ModelFactory, t
 		lossGauge:  cfg.Metrics.Gauge("cluster.epoch_loss"),
 		epochGauge: cfg.Metrics.Gauge("cluster.epoch_seconds"),
 		epochsCtr:  cfg.Metrics.Counter("cluster.epochs"),
+	}
+	if tc := cfg.Telemetry; tc != nil {
+		w.tele = telemetry.New(telemetry.Options{
+			Rank:        rank,
+			K:           cfg.NumWorkers,
+			Comm:        w.comm,
+			Tracer:      cfg.Tracer,
+			Registry:    cfg.Metrics,
+			Shared:      cfg.sharedObs,
+			FlightDir:   tc.FlightDir,
+			FlightSpans: tc.FlightSpans,
+			ClockRounds: tc.ClockRounds,
+			MergedTrace: tc.MergedTrace,
+			DrainWait:   tc.DrainWait,
+		})
+		if tc.OnCollector != nil && w.tele.Collector() != nil {
+			tc.OnCollector(w.tele.Collector())
+		}
 	}
 	w.ctx = &nau.Context{
 		Graph:          d.Graph,
@@ -525,7 +610,29 @@ func (w *worker) runEpoch() (loss float32, err error) {
 	if err := w.maybeCheckpoint(); err != nil {
 		return 0, err
 	}
+	if err := w.maybeTelemetry(); err != nil {
+		return 0, err
+	}
 	return globalLoss, nil
+}
+
+// maybeTelemetry pushes this rank's epoch-fenced telemetry snapshot to the
+// rank-0 collector on push boundaries. Like maybeCheckpoint it runs at the
+// post-increment epoch on every rank, so the Gather fence (and, on the
+// first push, the clock handshake) lines up cluster-wide.
+func (w *worker) maybeTelemetry() error {
+	tc := w.cfg.Telemetry
+	if tc == nil || w.tele == nil {
+		return nil
+	}
+	every := tc.Every
+	if every <= 0 {
+		every = 1
+	}
+	if int(w.epoch)%every != 0 {
+		return nil
+	}
+	return w.tele.PushEpoch(w.epoch)
 }
 
 // maybeCheckpoint persists the training state at a checkpoint boundary.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/rpc"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -55,6 +56,10 @@ type worker struct {
 
 	// tracer records rank-tagged epoch and stage spans (nil = off).
 	tracer *trace.Tracer
+	// tele is this rank's half of the cluster telemetry plane: epoch-fenced
+	// snapshot pushes to the rank-0 collector plus the crash flight
+	// recorder (nil = off; every method on a nil plane no-ops).
+	tele *telemetry.Plane
 	// Rank-0 per-epoch instruments (nil-safe no-ops when Config.Metrics is
 	// unset).
 	lossGauge  *metrics.Gauge

@@ -55,9 +55,11 @@ func (c *Comm) AllReduce(f Fence, data []float32, kind rpc.MsgKind) error {
 		return nil
 	}
 	c.ops.Inc()
-	if c.tracer != nil {
-		defer c.tracer.Begin(int32(rank), f.Epoch, f.Phase, trace.CatComm, "allreduce").End()
-	}
+	// Deferred via closure, not value: Link mutates the region after the
+	// defer statement, and a value defer would capture a link-free copy.
+	span := c.tracer.Begin(int32(rank), f.Epoch, f.Phase, trace.CatComm, "allreduce")
+	defer func() { span.End() }()
+	spanID := span.ID()
 	last := k - 1
 	next, prev := (rank+1)%k, (rank-1+k)%k
 	// Cap the chunk count well below the transports' inbox capacity so the
@@ -89,13 +91,14 @@ func (c *Comm) AllReduce(f Fence, data []float32, kind rpc.MsgKind) error {
 				return fmt.Errorf("collective: ring chunk %d from worker %d has %d words, want %d",
 					ci, prev, len(m.Data), len(seg))
 			}
+			span.Link(m.Trace)
 			tensor.AddUnrolled(seg, m.Data)
 		}
 		tag := reduceTag(f.Phase, ci)
 		if rank == last {
 			tag = distributeTag(f.Phase, ci)
 		}
-		if err := c.send(next, Fence{f.Epoch, tag}, &rpc.Message{Kind: kind, Data: seg, Dim: 1}); err != nil {
+		if err := c.send(next, Fence{f.Epoch, tag}, &rpc.Message{Kind: kind, Data: seg, Dim: 1, Trace: spanID}); err != nil {
 			return err
 		}
 	}
@@ -114,9 +117,10 @@ func (c *Comm) AllReduce(f Fence, data []float32, kind rpc.MsgKind) error {
 			return fmt.Errorf("collective: ring chunk %d from worker %d has %d words, want %d",
 				ci, prev, len(m.Data), len(seg))
 		}
+		span.Link(m.Trace)
 		copy(seg, m.Data)
 		if next != last {
-			if err := c.send(next, Fence{f.Epoch, distributeTag(f.Phase, ci)}, &rpc.Message{Kind: kind, Data: seg, Dim: 1}); err != nil {
+			if err := c.send(next, Fence{f.Epoch, distributeTag(f.Phase, ci)}, &rpc.Message{Kind: kind, Data: seg, Dim: 1, Trace: spanID}); err != nil {
 				return err
 			}
 		}

@@ -106,10 +106,15 @@ func WithRecvTimeout(d time.Duration) Option {
 }
 
 // WithTracer records a span for every collective fence wait (category
-// trace.CatFence) and all-reduce (trace.CatComm) into t. A nil tracer
-// leaves tracing off.
+// trace.CatFence) and all-reduce (trace.CatComm) into t, stamps each
+// outgoing frame with the operation's span ID, and links received frames'
+// span IDs back into the local span — the cross-rank causal edges of the
+// merged Perfetto timeline. A nil tracer leaves tracing off.
 func WithTracer(t *trace.Tracer) Option {
-	return func(c *Comm) { c.tracer = t }
+	return func(c *Comm) {
+		c.tracer = t
+		c.mb.tracer = t
+	}
 }
 
 // WithMetrics registers this communicator's hot-path instruments on r: the
@@ -165,6 +170,8 @@ func classOf(k rpc.MsgKind) metrics.MsgClass {
 		return metrics.ClassAbort
 	case rpc.KindSample:
 		return metrics.ClassSample
+	case rpc.KindTelemetry:
+		return metrics.ClassTelemetry
 	default:
 		return -1
 	}
@@ -195,6 +202,16 @@ func (c *Comm) Exchange(f Fence, recvKind rpc.MsgKind, build func(peer int) *rpc
 		}
 		return nil, nil
 	}
+	// The fence span opens before the sends so its ID can be stamped onto
+	// every outgoing frame — the receiver's matching span links back to it,
+	// which is what joins the k per-rank timelines into one causal tree.
+	// The fence-wait histogram still measures only the blocked receive.
+	c.ops.Inc()
+	var span trace.Region
+	if c.tracer != nil {
+		span = c.tracer.Begin(int32(rank), f.Epoch, f.Phase, trace.CatFence, recvKind.String())
+	}
+	spanID := span.ID()
 	// Sends run in the background; a failed send is stored where the
 	// receive loop's interrupt hook can see it, so a worker whose peers are
 	// gone fails fast instead of sitting in recvN waiting for messages that
@@ -207,7 +224,9 @@ func (c *Comm) Exchange(f Fence, recvKind rpc.MsgKind, build func(peer int) *rpc
 			if q == rank {
 				continue
 			}
-			if err := c.send(q, f, build(q)); err != nil {
+			m := build(q)
+			m.Trace = spanID
+			if err := c.send(q, f, m); err != nil {
 				errs = append(errs, err)
 			}
 		}
@@ -228,11 +247,6 @@ func (c *Comm) Exchange(f Fence, recvKind rpc.MsgKind, build func(peer int) *rpc
 	}
 	// The fence wait — time blocked until every peer delivers — is the
 	// straggler signal: it becomes a per-rank span and a histogram sample.
-	c.ops.Inc()
-	var span trace.Region
-	if c.tracer != nil {
-		span = c.tracer.Begin(int32(rank), f.Epoch, f.Phase, trace.CatFence, recvKind.String())
-	}
 	var waitStart time.Time
 	if c.fenceWait != nil {
 		waitStart = time.Now()
@@ -240,6 +254,9 @@ func (c *Comm) Exchange(f Fence, recvKind rpc.MsgKind, build func(peer int) *rpc
 	msgs, recvErr := c.mb.recvN(recvKind, f, k-1, c.recvTimeout, interrupt)
 	if c.fenceWait != nil {
 		c.fenceWait.ObserveSince(waitStart)
+	}
+	for _, m := range msgs {
+		span.Link(m.Trace)
 	}
 	span.End()
 	if recvErr != nil {
@@ -277,12 +294,86 @@ func (c *Comm) Abort(f Fence) {
 	if c.mb.aborted == nil {
 		c.mb.aborted = &AbortError{From: int32(rank), Fence: f}
 	}
+	// The abort broadcast carries its span ID so every survivor's
+	// "abort-recv" span parents back to the worker that initiated teardown —
+	// a crash's blast radius reads straight off the merged timeline.
+	span := c.tracer.Begin(int32(rank), f.Epoch, f.Phase, trace.CatComm, "abort")
+	id := span.ID()
 	for q := 0; q < k; q++ {
 		if q == rank {
 			continue
 		}
 		// Best-effort: a dead peer's send failure must not stop the
 		// broadcast to the survivors.
-		_ = c.send(q, f, &rpc.Message{Kind: rpc.KindAbort})
+		_ = c.send(q, f, &rpc.Message{Kind: rpc.KindAbort, Trace: id})
 	}
+	span.End()
+}
+
+// SendTo ships one fenced message point-to-point (the telemetry plane's
+// clock-sync and snapshot-push primitive). The Comm stamps sender and
+// fence; the caller owns kind, payload and the Trace span ID.
+func (c *Comm) SendTo(to int, f Fence, m *rpc.Message) error {
+	return c.send(to, f, m)
+}
+
+// RecvFrom receives the single message of the given kind at fence f from
+// one peer, honouring the Comm's receive timeout.
+func (c *Comm) RecvFrom(from int, f Fence, kind rpc.MsgKind) (*rpc.Message, error) {
+	return c.mb.recvFrom(kind, f, from, c.recvTimeout)
+}
+
+// Gather collects one message of the given kind at fence f from every peer
+// on root (returned in sender-rank order); every other rank contributes m
+// (its Kind is forced to kind) and returns nil messages. Like all
+// collectives, every rank must call it at the same fence.
+func (c *Comm) Gather(f Fence, kind rpc.MsgKind, root int, m *rpc.Message) ([]*rpc.Message, error) {
+	c.ops.Inc()
+	if c.tr.Rank() != root {
+		m.Kind = kind
+		return nil, c.send(root, f, m)
+	}
+	msgs, err := c.mb.recvN(kind, f, c.tr.Size()-1, c.recvTimeout, nil)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+	return msgs, nil
+}
+
+// DrainKind collects messages of one kind that are already buffered or
+// arrive within wait, ignoring fences and the sticky abort state — the
+// teardown-time receive the rank-0 collector uses to pick up
+// flight-recorder dumps from survivors after the cluster has failed. All
+// errors (including a closed transport) end the drain silently; messages of
+// other kinds arriving during the drain are dropped, since the cluster is
+// past the point of consuming them.
+func (c *Comm) DrainKind(kind rpc.MsgKind, wait time.Duration) []*rpc.Message {
+	var out []*rpc.Message
+	rest := c.mb.pending[:0]
+	for _, m := range c.mb.pending {
+		if m.Kind == kind {
+			out = append(out, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	c.mb.pending = rest
+	deadline := time.Now().Add(wait)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		m, err := c.tr.RecvTimeout(remaining)
+		if err != nil {
+			break
+		}
+		c.bd.CountRecv(classOf(m.Kind), m.NumBytes())
+		if m.Kind == kind {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 // FenceError reports a message that can never be consumed: its epoch
@@ -106,6 +107,7 @@ type mailbox struct {
 	pending []*rpc.Message
 	limit   int
 	aborted *AbortError
+	tracer  *trace.Tracer
 }
 
 // take returns the first message satisfying match, preferring buffered
@@ -167,6 +169,11 @@ func (mb *mailbox) take(fenceEpoch int32, deadline time.Time, interrupt func() e
 		if m.Kind == rpc.KindAbort {
 			mb.aborted = &AbortError{From: m.From, Fence: Fence{Epoch: m.Epoch, Phase: m.Layer}}
 			mb.bd.CountAbort()
+			// Instant span parented to the aborter's broadcast span: the
+			// merged timeline shows which rank initiated teardown and when
+			// each survivor heard about it.
+			mb.tracer.BeginChild(int32(mb.tr.Rank()), m.Epoch, m.Layer,
+				trace.CatComm, "abort-recv", m.Trace).End()
 			return nil, mb.aborted
 		}
 		if m.Epoch < fenceEpoch {

@@ -64,6 +64,7 @@ const (
 	ClassPlan
 	ClassAbort
 	ClassSample
+	ClassTelemetry
 	NumMsgClasses
 )
 
@@ -84,6 +85,8 @@ func (c MsgClass) String() string {
 		return "abort"
 	case ClassSample:
 		return "sample"
+	case ClassTelemetry:
+		return "telemetry"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}

@@ -149,6 +149,16 @@ type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
 	buckets [histBuckets]atomic.Int64
+	ex      atomic.Pointer[exemplar]
+}
+
+// exemplar ties the largest observed value to the trace span that produced
+// it — the OpenMetrics idea: a p99 outlier in the latency histogram carries
+// the span ID of an actual slow request, so the histogram links back into
+// the Perfetto timeline.
+type exemplar struct {
+	val   int64
+	trace uint64
 }
 
 // bucketOf returns the bucket index for v.
@@ -180,6 +190,29 @@ func (h *Histogram) Observe(v int64) {
 	h.count.Add(1)
 	h.sum.Add(v)
 	h.buckets[bucketOf(v)].Add(1)
+}
+
+// ObserveExemplar records one value and, when traceID is nonzero and v is
+// the largest value seen so far, retains (v, traceID) as the histogram's
+// exemplar. Lock-free: a CAS loop that only replaces a smaller exemplar.
+func (h *Histogram) ObserveExemplar(v int64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	h.ObserveExemplarOnly(v, traceID)
+}
+
+// Exemplar returns the worst-case observation and its trace span ID (zeros
+// when none was recorded).
+func (h *Histogram) Exemplar() (v int64, traceID uint64) {
+	if h == nil {
+		return 0, 0
+	}
+	if e := h.ex.Load(); e != nil {
+		return e.val, e.trace
+	}
+	return 0, 0
 }
 
 // ObserveSince records the nanoseconds elapsed since t0 — the idiom for
@@ -273,13 +306,16 @@ func (h *Histogram) bucketCount(i int) int64 {
 
 // histSnapshot is the JSON shape of one histogram.
 type histSnapshot struct {
-	Count  int64   `json:"count"`
-	Sum    int64   `json:"sum"`
-	Mean   float64 `json:"mean"`
-	P50    float64 `json:"p50"`
-	P90    float64 `json:"p90"`
-	P99    float64 `json:"p99"`
-	MaxEst float64 `json:"max_est"`
+	Count    int64   `json:"count"`
+	Sum      int64   `json:"sum"`
+	Mean     float64 `json:"mean"`
+	P50      float64 `json:"p50"`
+	P90      float64 `json:"p90"`
+	P99      float64 `json:"p99"`
+	MaxEst   float64 `json:"max_est"`
+	ExVal    int64   `json:"exemplar_value,omitempty"`
+	ExTrace  uint64  `json:"exemplar_trace,omitempty"`
+	exemplar bool
 }
 
 func (h *Histogram) snapshot() histSnapshot {
@@ -297,6 +333,9 @@ func (h *Histogram) snapshot() histSnapshot {
 			s.MaxEst = float64(hi)
 			break
 		}
+	}
+	if v, tr := h.Exemplar(); tr != 0 {
+		s.ExVal, s.ExTrace, s.exemplar = v, tr, true
 	}
 	return s
 }
@@ -343,6 +382,140 @@ func (r *Registry) snapshot() registrySnapshot {
 	return s
 }
 
+// ---------------------------------------------------------------------------
+// Full-fidelity snapshot + merge (the telemetry-plane transfer format)
+
+// HistogramSnapshot is the lossless serialisable form of a Histogram: raw
+// bucket counts (trailing zero buckets trimmed) rather than derived
+// quantiles, so snapshots from many ranks merge without losing resolution.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Buckets []int64 `json:"buckets,omitempty"`
+	ExVal   int64   `json:"exemplar_value,omitempty"`
+	ExTrace uint64  `json:"exemplar_trace,omitempty"`
+}
+
+// RegistrySnapshot is the lossless serialisable form of a whole Registry —
+// what a rank packs into a KindTelemetry push and what the rank-0 collector
+// merges into the cluster-wide view.
+type RegistrySnapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state with full bucket
+// resolution. Safe to call while observation continues; racing updates may
+// or may not be included.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	s := RegistrySnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Load()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Load()
+	}
+	for k, h := range hists {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		top := -1
+		for i := 0; i < histBuckets; i++ {
+			if h.bucketCount(i) != 0 {
+				top = i
+			}
+		}
+		if top >= 0 {
+			hs.Buckets = make([]int64, top+1)
+			for i := 0; i <= top; i++ {
+				hs.Buckets[i] = h.bucketCount(i)
+			}
+		}
+		hs.ExVal, hs.ExTrace = h.Exemplar()
+		s.Histograms[k] = hs
+	}
+	return s
+}
+
+// MergeSnapshot folds a snapshot into the registry: counters and histogram
+// buckets add, gauges overwrite (last write wins — cluster views namespace
+// gauges per rank before merging), exemplars keep the larger value. Metrics
+// absent on either side — disjoint counter sets from ranks running
+// different roles — simply pass through.
+func (r *Registry) MergeSnapshot(s RegistrySnapshot) {
+	if r == nil {
+		return
+	}
+	for k, v := range s.Counters {
+		r.Counter(k).Add(v)
+	}
+	for k, v := range s.Gauges {
+		r.Gauge(k).Set(v)
+	}
+	for k, hs := range s.Histograms {
+		h := r.Histogram(k)
+		h.count.Add(hs.Count)
+		h.sum.Add(hs.Sum)
+		for i, n := range hs.Buckets {
+			if i < histBuckets && n != 0 {
+				h.buckets[i].Add(n)
+			}
+		}
+		if hs.ExTrace != 0 {
+			h.ObserveExemplarOnly(hs.ExVal, hs.ExTrace)
+		}
+	}
+}
+
+// ObserveExemplarOnly updates the exemplar without recording an
+// observation — used when merging snapshots whose counts were already
+// added.
+func (h *Histogram) ObserveExemplarOnly(v int64, traceID uint64) {
+	if h == nil || traceID == 0 {
+		return
+	}
+	next := &exemplar{val: v, trace: traceID}
+	for {
+		cur := h.ex.Load()
+		if cur != nil && cur.val >= v {
+			return
+		}
+		if h.ex.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// Merge folds another registry's current state into r (counters/buckets
+// add, gauges overwrite). The source is snapshotted first, so merging a
+// live registry is safe.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	r.MergeSnapshot(o.Snapshot())
+}
+
 // WriteJSON writes the registry as one JSON object (the /metrics?format=json
 // and expvar payload).
 func (r *Registry) WriteJSON(w io.Writer) error {
@@ -380,8 +553,12 @@ func (r *Registry) WriteText(w io.Writer) error {
 	sort.Strings(names)
 	for _, k := range names {
 		h := s.Histograms[k]
-		if _, err := fmt.Fprintf(w, "hist    %-44s count=%d mean=%.0f p50=%.0f p90=%.0f p99=%.0f max~%.0f\n",
-			k, h.Count, h.Mean, h.P50, h.P90, h.P99, h.MaxEst); err != nil {
+		ex := ""
+		if h.exemplar {
+			ex = fmt.Sprintf(" ex=%d@%#x", h.ExVal, h.ExTrace)
+		}
+		if _, err := fmt.Fprintf(w, "hist    %-44s count=%d mean=%.0f p50=%.0f p90=%.0f p99=%.0f max~%.0f%s\n",
+			k, h.Count, h.Mean, h.P50, h.P90, h.P99, h.MaxEst, ex); err != nil {
 			return err
 		}
 	}

@@ -41,6 +41,14 @@ const (
 	// requests can be outstanding on one link at once. Feature-row gathers
 	// on the same link reuse KindFeatures with the same ID convention.
 	KindSample
+	// KindTelemetry carries the telemetry plane's control-plane traffic:
+	// clock-sync ping/pong, epoch-fenced span/metrics snapshots pushed to the
+	// rank-0 collector, and flight-recorder dumps from survivors of a crash.
+	// The payload is JSON packed into IDs (Counts[0] holds the byte length,
+	// Dim the telemetry opcode); it rides the collective mailbox like any
+	// fenced message, so snapshots never reorder against the collectives
+	// they describe.
+	KindTelemetry
 
 	numKinds
 )
@@ -65,6 +73,8 @@ func (k MsgKind) String() string {
 		return "abort"
 	case KindSample:
 		return "sample"
+	case KindTelemetry:
+		return "telemetry"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -84,11 +94,16 @@ type Message struct {
 	Data []float32
 	// Dim is the row width of Data.
 	Dim int32
+	// Trace is the sender's span ID (0 when tracing is off): the receiver
+	// opens its handling span with this as Parent, linking the two ranks'
+	// timelines into one causal tree in the merged Perfetto export.
+	Trace uint64
 }
 
-// headerBytes is the fixed wire-header size: kind byte plus seven uint32
-// fields (from, layer, epoch, dim, and the three section lengths).
-const headerBytes = 1 + 4*7
+// headerBytes is the fixed wire-header size: kind byte, seven uint32 fields
+// (from, layer, epoch, dim, and the three section lengths), and the 8-byte
+// trace/parent-span ID.
+const headerBytes = 1 + 4*7 + 8
 
 // NumBytes returns the encoded size, used by traffic accounting.
 func (m *Message) NumBytes() int64 {
@@ -119,6 +134,7 @@ func (m *Message) EncodeInto(buf []byte) {
 	binary.LittleEndian.PutUint32(buf[17:], uint32(len(m.IDs)))
 	binary.LittleEndian.PutUint32(buf[21:], uint32(len(m.Counts)))
 	binary.LittleEndian.PutUint32(buf[25:], uint32(len(m.Data)))
+	binary.LittleEndian.PutUint64(buf[29:], m.Trace)
 	off := headerBytes
 	putInt32s(buf[off:], m.IDs)
 	off += 4 * len(m.IDs)
@@ -147,6 +163,7 @@ func Decode(buf []byte) (*Message, error) {
 	nIDs := int(u32(17))
 	nCounts := int(u32(21))
 	nData := int(u32(25))
+	m.Trace = binary.LittleEndian.Uint64(buf[29:])
 	if nIDs < 0 || nCounts < 0 || nData < 0 {
 		return nil, fmt.Errorf("rpc: negative section length")
 	}
@@ -170,4 +187,36 @@ func Decode(buf []byte) (*Message, error) {
 		getFloat32s(m.Data, buf[off:])
 	}
 	return m, nil
+}
+
+// PackBytes packs an arbitrary byte payload into an []int32 section (4
+// bytes per word, little-endian, zero-padded). KindTelemetry uses it to
+// ship JSON through the IDs section without widening the wire format; the
+// original byte length travels separately (Counts[0] by convention).
+func PackBytes(b []byte) []int32 {
+	out := make([]int32, (len(b)+3)/4)
+	var word [4]byte
+	for i := range out {
+		copy(word[:], b[4*i:])
+		if rem := len(b) - 4*i; rem < 4 {
+			for j := rem; j < 4; j++ {
+				word[j] = 0
+			}
+		}
+		out[i] = int32(binary.LittleEndian.Uint32(word[:]))
+	}
+	return out
+}
+
+// UnpackBytes reverses PackBytes, returning the first n bytes. It returns
+// nil when the words cannot hold n bytes (truncated or corrupt frame).
+func UnpackBytes(words []int32, n int) []byte {
+	if n < 0 || n > 4*len(words) {
+		return nil
+	}
+	buf := make([]byte, 4*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(w))
+	}
+	return buf[:n]
 }

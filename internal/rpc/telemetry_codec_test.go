@@ -1,0 +1,94 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestTraceFieldRoundTrip pins the wire slot for trace-context propagation:
+// the 8-byte trace ID must survive encode/decode on every kind, and a zero
+// ID must encode as zero bytes (the disabled-tracing path adds no entropy).
+func TestTraceFieldRoundTrip(t *testing.T) {
+	m := &Message{
+		Kind:  KindGrads,
+		From:  3,
+		Epoch: 7,
+		Layer: 2,
+		Trace: 0xDEADBEEFCAFE0123,
+		Data:  []float32{1, 2, 3},
+		Dim:   3,
+	}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != m.Trace {
+		t.Fatalf("trace ID round trip: got %#x want %#x", got.Trace, m.Trace)
+	}
+
+	// Zero trace ID stays zero — and the header is byte-identical across
+	// encodes, so tracing off cannot perturb the wire format.
+	z := &Message{Kind: KindFeatures, From: 1, IDs: []int32{4, 5}}
+	a, b := z.Encode(), z.Encode()
+	if !bytes.Equal(a, b) {
+		t.Fatal("encode is not deterministic")
+	}
+	gz, err := Decode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gz.Trace != 0 {
+		t.Fatalf("zero trace ID decoded as %#x", gz.Trace)
+	}
+}
+
+func TestTelemetryKindValid(t *testing.T) {
+	if !KindTelemetry.Valid() {
+		t.Fatal("KindTelemetry must be a valid kind")
+	}
+	if KindTelemetry.String() != "telemetry" {
+		t.Fatalf("KindTelemetry.String() = %q", KindTelemetry.String())
+	}
+	m := &Message{Kind: KindTelemetry, Dim: 3, IDs: PackBytes([]byte("hi")), Counts: []int32{2}}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindTelemetry || string(UnpackBytes(got.IDs, int(got.Counts[0]))) != "hi" {
+		t.Fatalf("telemetry frame round trip: %+v", got)
+	}
+}
+
+// TestPackBytesRoundTrip covers every padding remainder plus the
+// out-of-range guards on the unpack side.
+func TestPackBytesRoundTrip(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(0xA0 + i)
+		}
+		words := PackBytes(b)
+		if want := (n + 3) / 4; len(words) != want {
+			t.Fatalf("n=%d: %d words, want %d", n, len(words), want)
+		}
+		got := UnpackBytes(words, n)
+		if n == 0 {
+			if len(got) != 0 {
+				t.Fatalf("n=0: got %v", got)
+			}
+			continue
+		}
+		if !bytes.Equal(got, b) {
+			t.Fatalf("n=%d: round trip %v != %v", n, got, b)
+		}
+	}
+	if UnpackBytes([]int32{1}, 5) != nil {
+		t.Fatal("declared length beyond the word payload must return nil")
+	}
+	if UnpackBytes(nil, 1) != nil {
+		t.Fatal("nil words with nonzero length must return nil")
+	}
+	if UnpackBytes([]int32{1}, -1) != nil {
+		t.Fatal("negative length must return nil")
+	}
+}

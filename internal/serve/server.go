@@ -299,7 +299,10 @@ func (s *Server) Query(ctx context.Context, vertices []graph.VertexID) (*Reply, 
 	}
 	select {
 	case <-r.done:
-		s.reg.Histogram("serve_request_ns").ObserveSince(t0)
+		// Exemplar: the worst request latency keeps its span ID, so the
+		// p99 outlier in /metrics links to an actual slow request on the
+		// serve timeline.
+		s.reg.Histogram("serve_request_ns").ObserveExemplar(time.Since(t0).Nanoseconds(), span.ID())
 		if r.err != nil {
 			s.reg.Counter("serve_errors_total").Inc()
 		}
@@ -462,7 +465,7 @@ func (s *Server) runBatch(batch []*request) {
 		r.reply = reply
 		close(r.done)
 	}
-	s.reg.Histogram("serve_batch_ns").ObserveSince(t0)
+	s.reg.Histogram("serve_batch_ns").ObserveExemplar(time.Since(t0).Nanoseconds(), span.ID())
 }
 
 // argmax returns the index of the largest logit (ties break low, -1 for an

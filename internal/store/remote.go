@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rpc"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // Store opcodes, carried in Message.Layer. KindSample carries the graph
@@ -53,6 +54,10 @@ type RemoteOptions struct {
 	// Breakdown counts per-kind request/reply bytes (sample and feature
 	// rows show up as their own TrafficTable lines); nil disables.
 	Breakdown *metrics.Breakdown
+	// Tracer records one CatSample span per remote call and stamps its
+	// span ID onto the request frame, so the server's handling span (and
+	// the merged cluster timeline) parents back to this fetch (nil = off).
+	Tracer *trace.Tracer
 }
 
 // Remote implements GraphStore and FeatureStore over an rpc.Transport
@@ -194,6 +199,9 @@ func (r *Remote) call(ctx context.Context, opName string, verts int, m *rpc.Mess
 
 	m.From = int32(r.tr.Rank())
 	m.Epoch = id
+	span := r.opts.Tracer.Begin(int32(r.tr.Rank()), id, m.Layer, trace.CatSample, opName)
+	defer func() { span.End() }()
+	m.Trace = span.ID()
 	if r.opts.Breakdown != nil {
 		r.opts.Breakdown.CountSent(classOfKind(m.Kind), m.NumBytes())
 	}
@@ -208,6 +216,7 @@ func (r *Remote) call(ctx context.Context, opName string, verts int, m *rpc.Mess
 		if reply.Layer < 0 {
 			return nil, fetchErr(fmt.Errorf("store: server rejected %s query", opName))
 		}
+		span.Link(reply.Trace)
 		return reply, nil
 	case <-ctx.Done():
 		return nil, fetchErr(ctx.Err())
@@ -331,6 +340,9 @@ type ServerOptions struct {
 	Workers int
 	// Breakdown counts per-kind request/reply bytes; nil disables.
 	Breakdown *metrics.Breakdown
+	// Tracer records one CatSample span per handled query, parented to the
+	// requester's span via the frame's trace ID (nil = off).
+	Tracer *trace.Tracer
 }
 
 // Server answers Remote store queries over a transport, backed by a Local
@@ -397,7 +409,10 @@ func (s *Server) Close() error {
 // handle answers one query. Reply send errors are dropped: the client is
 // gone and its deadline will fire.
 func (s *Server) handle(m *rpc.Message) {
-	reply := &rpc.Message{Kind: m.Kind, From: int32(s.tr.Rank()), Epoch: m.Epoch, Layer: m.Layer}
+	span := s.opts.Tracer.BeginChild(int32(s.tr.Rank()), m.Epoch, m.Layer,
+		trace.CatSample, "serve:"+opName(m.Layer), m.Trace)
+	defer span.End()
+	reply := &rpc.Message{Kind: m.Kind, From: int32(s.tr.Rank()), Epoch: m.Epoch, Layer: m.Layer, Trace: span.ID()}
 	ctx := context.Background()
 	switch m.Layer {
 	case opInEdges:
@@ -462,6 +477,22 @@ func (s *Server) handle(m *rpc.Message) {
 		s.opts.Breakdown.CountSent(classOfKind(reply.Kind), reply.NumBytes())
 	}
 	_ = s.tr.Send(int(m.From), reply)
+}
+
+// opName names a store opcode for span labels.
+func opName(op int32) string {
+	switch op {
+	case opSample:
+		return "sample"
+	case opInEdges:
+		return "in_edges"
+	case opKHop:
+		return "khop"
+	case opFeatures:
+		return "features"
+	default:
+		return fmt.Sprintf("op(%d)", op)
+	}
 }
 
 // encodeRecords flattens neighbor-selection records for the wire as

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestNewSpanIDUniqueAndRankTagged(t *testing.T) {
+	tr := New(16)
+	seen := map[uint64]bool{}
+	for rank := int32(0); rank < 3; rank++ {
+		for i := 0; i < 100; i++ {
+			id := tr.NewSpanID(rank)
+			if id == 0 {
+				t.Fatal("enabled tracer minted zero span ID")
+			}
+			if got := int32(id>>40) - 1; got != rank {
+				t.Fatalf("ID %#x encodes rank %d, want %d", id, got, rank)
+			}
+			if seen[id] {
+				t.Fatalf("duplicate span ID %#x", id)
+			}
+			seen[id] = true
+		}
+	}
+	var nilTr *Tracer
+	if nilTr.NewSpanID(0) != 0 {
+		t.Fatal("disabled tracer must mint ID 0")
+	}
+}
+
+func TestBeginChildAndLinkRecorded(t *testing.T) {
+	tr := New(16)
+	parent := tr.Begin(0, 1, 0, CatComm, "send")
+	parent.End()
+	child := tr.BeginChild(1, 1, 0, CatComm, "recv", parent.ID())
+	child.Link(parent.ID())
+	child.Link(0) // zero links are dropped
+	child.End()
+
+	var got *Span
+	for _, s := range tr.Spans() {
+		if s.Name == "recv" {
+			s := s
+			got = &s
+		}
+	}
+	if got == nil {
+		t.Fatal("child span not recorded")
+	}
+	if got.Parent != parent.ID() {
+		t.Fatalf("child Parent = %#x, want %#x", got.Parent, parent.ID())
+	}
+	if len(got.Links) != 1 || got.Links[0] != parent.ID() {
+		t.Fatalf("child Links = %v, want [%#x]", got.Links, parent.ID())
+	}
+}
+
+func TestSpansSinceCursor(t *testing.T) {
+	tr := New(8)
+	rec := func(name string) {
+		tr.Record(Span{Name: name, Rank: 0, Start: tr.Now()})
+	}
+	rec("a")
+	rec("b")
+	first, cur := tr.SpansSince(0)
+	if len(first) != 2 {
+		t.Fatalf("first delta has %d spans, want 2", len(first))
+	}
+	rec("c")
+	second, cur2 := tr.SpansSince(cur)
+	if len(second) != 1 || second[0].Name != "c" {
+		t.Fatalf("second delta = %+v, want just c", second)
+	}
+	empty, _ := tr.SpansSince(cur2)
+	if len(empty) != 0 {
+		t.Fatalf("empty delta returned %d spans", len(empty))
+	}
+
+	// Wraparound: record more than a ring's worth since the cursor; the
+	// delta is capped at ring capacity and the lost spans show in Dropped.
+	for i := 0; i < 20; i++ {
+		rec("w")
+	}
+	wrapped, _ := tr.SpansSince(cur2)
+	if len(wrapped) != tr.Cap() {
+		t.Fatalf("wraparound delta has %d spans, want capacity %d", len(wrapped), tr.Cap())
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("wraparound did not count dropped spans")
+	}
+
+	// A cursor from before a Reset (beyond the new end) restarts at 0.
+	tr.Reset()
+	rec("z")
+	after, _ := tr.SpansSince(cur2)
+	if len(after) != 1 || after[0].Name != "z" {
+		t.Fatalf("post-reset delta = %+v", after)
+	}
+}
+
+// chromeFlow mirrors the flow-event fields of the Chrome trace format.
+type chromeFlow struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Pid  int     `json:"pid"`
+		ID   uint64  `json:"id"`
+		Bp   string  `json:"bp"`
+		Ts   float64 `json:"ts"`
+	} `json:"traceEvents"`
+}
+
+// TestChromeTraceFlowEvents checks that a resolved Parent edge becomes an
+// "s"/"f" flow pair binding the two spans across rank lanes, and that an
+// unresolved parent (the other side was dropped or never pushed) emits no
+// dangling flow.
+func TestChromeTraceFlowEvents(t *testing.T) {
+	spans := []Span{
+		{Name: "send", Cat: CatComm, Rank: 0, Start: 100, Dur: 50, ID: 0x100000001},
+		{Name: "recv", Cat: CatComm, Rank: 1, Start: 120, Dur: 30, ID: 0x200000001, Parent: 0x100000001},
+		{Name: "orphan", Cat: CatComm, Rank: 2, Start: 10, Dur: 5, ID: 0x300000001, Parent: 0xdead},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var ct chromeFlow
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("chrome trace with flows does not parse: %v\n%s", err, buf.String())
+	}
+	var starts, finishes int
+	for _, ev := range ct.TraceEvents {
+		switch ev.Ph {
+		case "s":
+			starts++
+			if ev.Pid != 0 {
+				t.Fatalf("flow start on pid %d, want source rank 0", ev.Pid)
+			}
+		case "f":
+			finishes++
+			if ev.Pid != 1 {
+				t.Fatalf("flow finish on pid %d, want destination rank 1", ev.Pid)
+			}
+			if ev.Bp != "e" {
+				t.Fatalf("flow finish bp = %q, want e (bind to enclosing slice)", ev.Bp)
+			}
+		}
+	}
+	if starts != 1 || finishes != 1 {
+		t.Fatalf("got %d flow starts and %d finishes, want exactly 1 each (orphan must not emit)", starts, finishes)
+	}
+}

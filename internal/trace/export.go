@@ -28,7 +28,8 @@ func WriteJSONL(w io.Writer, spans []Span) error {
 }
 
 // chromeEvent is one entry of the Chrome trace-event format ("X" = complete
-// event, "M" = metadata). Timestamps and durations are microseconds.
+// event, "M" = metadata, "s"/"f" = flow start/finish). Timestamps and
+// durations are microseconds.
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
@@ -37,13 +38,9 @@ type chromeEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int64          `json:"pid"`
 	Tid  int64          `json:"tid"`
+	ID   uint64         `json:"id,omitempty"`
+	Bp   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
-}
-
-// chromeTrace is the top-level trace-event JSON object.
-type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
 // catLane maps a span category to a stable per-rank timeline lane (tid) so
@@ -60,8 +57,10 @@ func catLane(cat string) int64 {
 		return 3
 	case CatServe:
 		return 4
-	default:
+	case CatSample:
 		return 5
+	default:
+		return 6
 	}
 }
 
@@ -78,6 +77,8 @@ func laneName(tid int64) string {
 		return "comm"
 	case 4:
 		return "serve"
+	case 5:
+		return "sample"
 	default:
 		return "other"
 	}
@@ -91,39 +92,64 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	return WriteChromeTrace(w, t.Spans())
 }
 
-// WriteChromeTrace writes spans in Chrome trace-event JSON format.
+// WriteChromeTrace writes spans in Chrome trace-event JSON format. The
+// output is streamed one event at a time through a buffered writer rather
+// than materialised as a whole-trace value — a full 64Ki-span ring exports
+// without a trace-sized allocation spike on the debug endpoint.
+//
+// Spans whose Parent or Links name a span ID present in the same export are
+// additionally connected with flow events ("s" at the source, "f" binding
+// to the enclosing destination slice), which Perfetto renders as arrows —
+// the cross-rank causal tree of a collective or a remote feature fetch.
 func WriteChromeTrace(w io.Writer, spans []Span) error {
-	ranks := map[int64]bool{}
-	lanes := map[[2]int64]bool{} // (pid, tid) pairs in use
-	events := make([]chromeEvent, 0, len(spans)+8)
-	for _, s := range spans {
-		pid, tid := int64(s.Rank), catLane(s.Cat)
-		ranks[pid] = true
-		lanes[[2]int64{pid, tid}] = true
-		events = append(events, chromeEvent{
-			Name: s.Name,
-			Cat:  s.Cat,
-			Ph:   "X",
-			Ts:   float64(s.Start) / 1e3,
-			Dur:  float64(s.Dur) / 1e3,
-			Pid:  pid,
-			Tid:  tid,
-			Args: map[string]any{"epoch": s.Epoch, "phase": s.Phase},
-		})
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
 	}
+	first := true
+	emit := func(e chromeEvent) error {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+
+	// One pass to collect the rank/lane sets and the span-ID index used to
+	// resolve flow links.
+	ranks := map[int64]bool{}
+	lanes := map[[2]int64]bool{}
+	index := map[uint64]int{} // span ID -> index in spans
+	for i, s := range spans {
+		ranks[int64(s.Rank)] = true
+		lanes[[2]int64{int64(s.Rank), catLane(s.Cat)}] = true
+		if s.ID != 0 {
+			index[s.ID] = i
+		}
+	}
+
 	// Metadata first: process names ("rank N") and lane names, in sorted
 	// order so the output is deterministic for a given span set.
-	meta := make([]chromeEvent, 0, len(ranks)+len(lanes))
 	rankList := make([]int64, 0, len(ranks))
 	for r := range ranks {
 		rankList = append(rankList, r)
 	}
 	sort.Slice(rankList, func(i, j int) bool { return rankList[i] < rankList[j] })
 	for _, r := range rankList {
-		meta = append(meta, chromeEvent{
+		err := emit(chromeEvent{
 			Name: "process_name", Ph: "M", Pid: r,
 			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
 		})
+		if err != nil {
+			return err
+		}
 	}
 	laneList := make([][2]int64, 0, len(lanes))
 	for l := range lanes {
@@ -136,13 +162,71 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 		return laneList[i][1] < laneList[j][1]
 	})
 	for _, l := range laneList {
-		meta = append(meta, chromeEvent{
+		err := emit(chromeEvent{
 			Name: "thread_name", Ph: "M", Pid: l[0], Tid: l[1],
 			Args: map[string]any{"name": laneName(l[1])},
 		})
+		if err != nil {
+			return err
+		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(chromeTrace{TraceEvents: append(meta, events...), DisplayTimeUnit: "ns"})
+
+	for _, s := range spans {
+		err := emit(chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.Dur) / 1e3,
+			Pid:  int64(s.Rank),
+			Tid:  catLane(s.Cat),
+			Args: map[string]any{"epoch": s.Epoch, "phase": s.Phase},
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// Flow arrows for every Parent/Link that resolves in this export.
+	flowID := uint64(0)
+	for _, d := range spans {
+		refs := d.Links
+		if d.Parent != 0 {
+			refs = append([]uint64{d.Parent}, refs...)
+		}
+		for _, ref := range refs {
+			si, ok := index[ref]
+			if !ok || ref == d.ID {
+				continue
+			}
+			src := spans[si]
+			flowID++
+			srcTs := float64(src.Start) / 1e3
+			dstTs := float64(d.Start) / 1e3
+			if dstTs < srcTs {
+				dstTs = srcTs
+			}
+			err := emit(chromeEvent{
+				Name: "flow", Cat: "flow", Ph: "s", ID: flowID,
+				Ts: srcTs, Pid: int64(src.Rank), Tid: catLane(src.Cat),
+			})
+			if err != nil {
+				return err
+			}
+			err = emit(chromeEvent{
+				Name: "flow", Cat: "flow", Ph: "f", Bp: "e", ID: flowID,
+				Ts: dstTs, Pid: int64(d.Rank), Tid: catLane(d.Cat),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // WriteChromeTraceFile writes the Chrome trace to path (the -trace-out

@@ -40,6 +40,14 @@ func DebugMux(t *Tracer, reg *metrics.Registry) *http.ServeMux {
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Surface silent span loss at scrape time: a ring that wrapped shows
+		// up as a nonzero trace.spans_dropped next to its capacity, instead
+		// of being visible only in the JSONL export.
+		if t.Enabled() && reg != nil {
+			reg.Gauge("trace.spans_dropped").Set(float64(t.Dropped()))
+			reg.Gauge("trace.span_capacity").Set(float64(t.Cap()))
+			reg.Gauge("trace.spans_retained").Set(float64(t.Len()))
+		}
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
 			_ = reg.WriteJSON(w)
@@ -69,11 +77,19 @@ func DebugMux(t *Tracer, reg *metrics.Registry) *http.ServeMux {
 // returns the bound address and a shutdown func. The server runs until the
 // shutdown func is called; serving errors after shutdown are swallowed.
 func ServeDebug(addr string, t *Tracer, reg *metrics.Registry) (boundAddr string, shutdown func() error, err error) {
+	return ServeMux(addr, DebugMux(t, reg))
+}
+
+// ServeMux starts an HTTP server for an arbitrary handler — used by
+// processes that extend the debug mux with extra routes (the telemetry
+// collector mounts /metrics/cluster and /trace/cluster on rank 0) before
+// binding it. Same contract as ServeDebug.
+func ServeMux(addr string, handler http.Handler) (boundAddr string, shutdown func() error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("trace: debug listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: DebugMux(t, reg)}
+	srv := &http.Server{Handler: handler}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }

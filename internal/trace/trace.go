@@ -15,6 +15,7 @@ package trace
 
 import (
 	"slices"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -45,14 +46,25 @@ const (
 // Span is one completed timed region. Start is nanoseconds since the
 // tracer's base time (shared by every rank recording into the same ring, so
 // cross-rank timelines align); Dur is the duration in nanoseconds.
+//
+// ID is a cluster-unique span identifier (rank in the high bits, a
+// per-tracer sequence in the low bits). Parent names the span that caused
+// this one — possibly on another rank, carried there in an rpc frame's
+// trace field — and Links holds additional causal sources (a collective
+// fence span links every sender whose message it consumed). The Chrome
+// export turns resolved Parent/Links pairs into Perfetto flow arrows, so a
+// multi-rank trace renders as one causal tree.
 type Span struct {
-	Name  string `json:"name"`
-	Cat   string `json:"cat"`
-	Rank  int32  `json:"rank"`
-	Epoch int32  `json:"epoch"`
-	Phase int32  `json:"phase"`
-	Start int64  `json:"start_ns"`
-	Dur   int64  `json:"dur_ns"`
+	Name   string   `json:"name"`
+	Cat    string   `json:"cat"`
+	Rank   int32    `json:"rank"`
+	Epoch  int32    `json:"epoch"`
+	Phase  int32    `json:"phase"`
+	Start  int64    `json:"start_ns"`
+	Dur    int64    `json:"dur_ns"`
+	ID     uint64   `json:"id,omitempty"`
+	Parent uint64   `json:"parent,omitempty"`
+	Links  []uint64 `json:"links,omitempty"`
 }
 
 // Tracer records spans into a fixed-capacity ring. When the ring is full the
@@ -63,7 +75,16 @@ type Tracer struct {
 	slots []atomic.Pointer[Span]
 	mask  uint64
 	pos   atomic.Uint64
+	ids   atomic.Uint64
 	base  time.Time
+
+	// flows holds causal edges (parent, links) for the few open regions that
+	// have any, keyed by span ID. Keeping them out of Region keeps the struct
+	// at 64 bytes — the size every disabled call site pays to zero and copy —
+	// and the hasFlow bit in the region's ID means spans without causal edges
+	// never touch the map or the mutex.
+	flowMu sync.Mutex
+	flows  map[uint64]*regionFlow
 }
 
 // DefaultCapacity is the ring size used when New is given a non-positive
@@ -85,6 +106,7 @@ func New(capacity int) *Tracer {
 		slots: make([]atomic.Pointer[Span], n),
 		mask:  uint64(n - 1),
 		base:  time.Now(),
+		flows: make(map[uint64]*regionFlow),
 	}
 }
 
@@ -99,16 +121,48 @@ func (t *Tracer) Now() int64 {
 	return time.Since(t.base).Nanoseconds()
 }
 
+// NewSpanID mints a cluster-unique span identifier: rank+1 in bits 40..62
+// (so rank 0 still yields a nonzero ID — zero means "no span"), a
+// per-tracer sequence in the low 40. Bit 63 is reserved for the region-local
+// hasFlow flag and never appears in a minted ID. Returns 0 on a disabled
+// tracer.
+func (t *Tracer) NewSpanID(rank int32) uint64 {
+	if t == nil {
+		return 0
+	}
+	return (uint64(uint32(rank)+1)<<40 | (t.ids.Add(1) & (1<<40 - 1))) &^ hasFlow
+}
+
+// hasFlow marks a Region's id as having causal edges parked in the tracer's
+// flow table. It lives in the id's top bit (outside the rank/sequence
+// fields) so Region needs no extra byte for it; ID and endSlow mask it off.
+const hasFlow = uint64(1) << 63
+
 // Region is an open span returned by Begin; End closes and records it. The
 // zero Region (from a disabled tracer) is valid and End on it is a no-op.
+//
+// The struct is kept at its pre-causality 64 bytes because every disabled
+// call site pays for zeroing and copying it (growing it to 72 bytes
+// measurably doubles BenchmarkDisabledSpan): the rank lives inside the span
+// ID (high bits), and the rarely-populated causal fields (parent, links)
+// live in the tracer's flow table, flagged by the id's hasFlow bit —
+// BeginChild and Link sit on communication paths where one mutexed map
+// touch is noise.
 type Region struct {
 	t     *Tracer
 	name  string
 	cat   string
-	rank  int32
 	epoch int32
 	phase int32
 	start int64
+	id    uint64
+}
+
+// regionFlow carries a region's causal edges, parked in Tracer.flows for
+// the few regions that have any.
+type regionFlow struct {
+	par   uint64
+	links []uint64
 }
 
 // Begin opens a span. On a nil tracer it returns the zero Region without
@@ -121,10 +175,55 @@ func (t *Tracer) Begin(rank, epoch, phase int32, cat, name string) Region {
 	return t.begin(rank, epoch, phase, cat, name)
 }
 
+// BeginChild opens a span whose Parent is an existing span ID — typically
+// one that arrived from another rank in an rpc frame's trace field. A zero
+// parent makes it equivalent to Begin.
+func (t *Tracer) BeginChild(rank, epoch, phase int32, cat, name string, parent uint64) Region {
+	if t == nil {
+		return Region{}
+	}
+	r := t.begin(rank, epoch, phase, cat, name)
+	if parent != 0 {
+		t.flowMu.Lock()
+		t.flows[r.id] = &regionFlow{par: parent}
+		t.flowMu.Unlock()
+		r.id |= hasFlow
+	}
+	return r
+}
+
 // begin is the enabled slow path, kept out of Begin so Begin stays within
 // the inlining budget.
 func (t *Tracer) begin(rank, epoch, phase int32, cat, name string) Region {
-	return Region{t: t, name: name, cat: cat, rank: rank, epoch: epoch, phase: phase, start: t.Now()}
+	return Region{
+		t: t, name: name, cat: cat,
+		epoch: epoch, phase: phase,
+		start: t.Now(), id: t.NewSpanID(rank),
+	}
+}
+
+// ID returns the region's span identifier (0 when disabled). Stamp it into
+// outgoing rpc frames so the receiver's spans can name this one as Parent.
+func (r Region) ID() uint64 { return r.id &^ hasFlow }
+
+// Link records an additional causal source — a span (usually remote) whose
+// completion this region consumed. Pointer receiver: callers that defer End
+// after Link must defer a closure (`defer func() { r.End() }()`) so the
+// hasFlow mark set after the defer statement is not lost to a copy.
+func (r *Region) Link(id uint64) {
+	if r.t == nil || id == 0 {
+		return
+	}
+	key := r.id &^ hasFlow
+	r.t.flowMu.Lock()
+	f := r.t.flows[key]
+	if f == nil {
+		f = &regionFlow{}
+		r.t.flows[key] = f
+	}
+	f.links = append(f.links, id)
+	r.t.flowMu.Unlock()
+	r.id |= hasFlow
 }
 
 // End closes the region and records the span. The nil test inlines; the
@@ -137,11 +236,23 @@ func (r Region) End() {
 }
 
 func (r Region) endSlow() {
-	r.t.Record(Span{
+	id := r.id &^ hasFlow
+	s := Span{
 		Name: r.name, Cat: r.cat,
-		Rank: r.rank, Epoch: r.epoch, Phase: r.phase,
+		Rank: int32(id>>40) - 1, Epoch: r.epoch, Phase: r.phase,
 		Start: r.start, Dur: r.t.Now() - r.start,
-	})
+		ID: id,
+	}
+	if r.id&hasFlow != 0 {
+		r.t.flowMu.Lock()
+		if f := r.t.flows[id]; f != nil {
+			s.Parent = f.par
+			s.Links = f.links
+			delete(r.t.flows, id)
+		}
+		r.t.flowMu.Unlock()
+	}
+	r.t.Record(s)
 }
 
 // Record appends a completed span to the ring, overwriting the oldest span
@@ -165,6 +276,14 @@ func (t *Tracer) Len() int {
 		return len(t.slots)
 	}
 	return int(n)
+}
+
+// Cap returns the ring capacity in spans (0 when disabled).
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.slots)
 }
 
 // Dropped returns how many spans have been overwritten by ring wraparound.
@@ -196,6 +315,35 @@ func (t *Tracer) Spans() []Span {
 	return out
 }
 
+// SpansSince returns the spans recorded after a cursor previously returned
+// by SpansSince (0 for "from the beginning"), plus the new cursor. It is the
+// telemetry plane's incremental snapshot: each epoch a rank ships only the
+// ring's delta. Wraparound is tolerated — if more than a ring's worth of
+// spans were recorded since the cursor, the overwritten ones are simply
+// gone (Dropped counts them), and a span racing the snapshot may appear in
+// two consecutive deltas, so consumers dedupe by span ID.
+func (t *Tracer) SpansSince(cursor uint64) ([]Span, uint64) {
+	if t == nil {
+		return nil, cursor
+	}
+	end := t.pos.Load()
+	if cursor > end { // the ring was Reset since the cursor was taken
+		cursor = 0
+	}
+	start := cursor
+	if end > uint64(len(t.slots)) && end-uint64(len(t.slots)) > start {
+		start = end - uint64(len(t.slots))
+	}
+	out := make([]Span, 0, end-start)
+	for i := start; i < end; i++ {
+		if sp := t.slots[i&t.mask].Load(); sp != nil {
+			out = append(out, *sp)
+		}
+	}
+	sortSpans(out)
+	return out, end
+}
+
 // Reset discards all retained spans (the base time is kept, so span
 // timestamps stay monotone across resets).
 func (t *Tracer) Reset() {
@@ -206,6 +354,9 @@ func (t *Tracer) Reset() {
 		t.slots[i].Store(nil)
 	}
 	t.pos.Store(0)
+	t.flowMu.Lock()
+	clear(t.flows)
+	t.flowMu.Unlock()
 }
 
 // sortSpans orders spans by (Start, Rank) — a stable timeline order that
