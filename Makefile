@@ -1,11 +1,11 @@
 GO ?= go
 
 .PHONY: ci build test race chaos trace-smoke telemetry-smoke serve-smoke \
-	sampler-smoke checkpoint-smoke vet fmt bench bench-comm \
+	router-smoke sampler-smoke checkpoint-smoke vet fmt bench bench-comm \
 	bench-kernels-diff bench-smoke bench-sampler
 
-ci: vet fmt race chaos trace-smoke telemetry-smoke serve-smoke sampler-smoke \
-	checkpoint-smoke test bench-smoke
+ci: vet fmt race chaos trace-smoke telemetry-smoke serve-smoke router-smoke \
+	sampler-smoke checkpoint-smoke test bench-smoke
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ race: chaos
 	$(GO) test -race ./internal/tensor/... ./internal/engine/... \
 		./internal/rpc/... ./internal/collective/... ./internal/cluster/... \
 		./internal/metrics/... ./internal/trace/... ./internal/serve/... \
-		./internal/store/... ./internal/telemetry/...
+		./internal/router/... ./internal/store/... ./internal/telemetry/...
 
 # Fault-injection chaos tests, uncached and under the race detector: crash a
 # worker mid-epoch, expire receive deadlines, inject drops/dups/delays, and
@@ -69,6 +69,16 @@ telemetry-smoke:
 # JSON with cache hits and serve spans visible on the observability surface.
 serve-smoke:
 	$(GO) test -count=1 -run 'ServeSmoke' ./internal/serve/...
+
+# Scale-out serving smoke, under the race detector: 3 InferenceServer
+# replicas plus the router on loopback listeners. Asserts routed-vs-single
+# bit parity over the wire, per-replica cache hit rate above the unsharded
+# baseline and shed counters via /metrics?format=json, a replica kill
+# mid-burst survived through ring retry with the victim evicted, p99-SLO
+# load shedding with HTTP 429 / typed *OverloadError (and recovery), the
+# in-flight cap, hot-vertex overflow replication, and background revival.
+router-smoke:
+	$(GO) test -race -count=1 -run 'RouterSmoke' ./internal/router/...
 
 # Data-plane end-to-end smoke: a multi-rank loopback mini-batch run with
 # prefetch depth 2 must train, populate the sample_wait_ns histogram, and

@@ -1,0 +1,115 @@
+// Command flexgraph-router runs the scale-out serving tier: a routing
+// process that consistent-hashes per-vertex inference queries over N
+// flexgraph-serve replicas, merges the partial replies in input order, and
+// degrades gracefully — health-checked ring eviction with failover, p99-SLO
+// admission control with HTTP 429 load shedding, and hot-shard overflow
+// replication for power-law traffic. The routed HTTP surface is identical
+// to a single replica's, so clients point at the router and cannot tell the
+// difference; the listener also carries /metrics, /trace and pprof.
+//
+//	flexgraph-serve -addr :8091 &   # replica 0 (same dataset/model/seed…)
+//	flexgraph-serve -addr :8092 &   # replica 1
+//	flexgraph-serve -addr :8093 &   # replica 2
+//	flexgraph-router -addr :8090 -replicas localhost:8091,localhost:8092,localhost:8093 \
+//	    -slo 50ms -hot-threshold 100
+//
+//	curl -s localhost:8090/v1/predict -d '{"vertices":[0,7,42]}'
+//	curl -s 'localhost:8090/metrics?format=json'
+//
+// The command is written entirely against the public flexgraph package — it
+// doubles as a walkthrough of the Querier/Router API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	flexgraph "repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "HTTP listen address")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs (required), e.g. host1:8091,host2:8091")
+	vnodes := flag.Int("vnodes", flexgraph.DefaultRouterVirtualNodes, "consistent-hash virtual nodes per replica")
+	retries := flag.Int("retries", 0, "max replicas tried per shard (0 = all)")
+	slo := flag.Duration("slo", 0, "p99 latency SLO; past it new requests shed with 429 (0 disables)")
+	sloWindow := flag.Duration("slo-window", flexgraph.DefaultRouterSLOWindow, "p99 measurement window")
+	maxInflight := flag.Int("max-inflight", flexgraph.DefaultRouterMaxInflight, "admission cap on concurrent requests")
+	maxVerts := flag.Int("max-vertices", flexgraph.DefaultServeMaxQueryVertices, "per-request vertex cap (negative disables)")
+	hotThreshold := flag.Int("hot-threshold", 0, "queries per window marking a vertex hot for overflow replication (0 disables)")
+	hotWindow := flag.Duration("hot-window", flexgraph.DefaultRouterHotWindow, "hot-vertex measurement window")
+	replication := flag.Int("replication", flexgraph.DefaultRouterReplication, "replicas sharing each hot vertex")
+	healthEvery := flag.Duration("health-every", flexgraph.DefaultRouterHealthEvery, "evicted-replica probe period")
+	failThreshold := flag.Int("fail-threshold", 1, "consecutive failures before a replica is evicted from the ring")
+	clientTimeout := flag.Duration("client-timeout", 30*time.Second, "per-shard replica request timeout")
+	traceCap := flag.Int("trace-cap", 0, "span ring capacity (0 = default)")
+	flag.Parse()
+
+	if *replicas == "" {
+		log.Fatal("-replicas is required (comma-separated flexgraph-serve base URLs)")
+	}
+	tracer := flexgraph.NewTracer(*traceCap)
+	reg := flexgraph.NewMetricsRegistry()
+
+	var reps []flexgraph.RouterReplica
+	var clients []*flexgraph.ServeClient
+	for _, raw := range strings.Split(*replicas, ",") {
+		base := strings.TrimSpace(raw)
+		if base == "" {
+			continue
+		}
+		c := flexgraph.NewServeClient(base, flexgraph.ServeClientOptions{Timeout: *clientTimeout})
+		clients = append(clients, c)
+		reps = append(reps, flexgraph.RouterReplica{Name: base, Querier: c})
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	rt, err := flexgraph.NewRouter(flexgraph.RouterOptions{
+		Replicas:          reps,
+		VirtualNodes:      *vnodes,
+		MaxAttempts:       *retries,
+		SLO:               *slo,
+		SLOWindow:         *sloWindow,
+		MaxInflight:       *maxInflight,
+		MaxQueryVertices:  *maxVerts,
+		HotThreshold:      *hotThreshold,
+		HotWindow:         *hotWindow,
+		ReplicationFactor: *replication,
+		FailureThreshold:  *failThreshold,
+		HealthEvery:       *healthEvery,
+		Metrics:           reg,
+		Tracer:            tracer,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	bound, shutdown, err := rt.ListenAndServe(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("routing %d replicas on http://%s  (POST /v1/predict, GET /v1/healthz, /metrics, /trace)\n",
+		len(reps), bound)
+	for i, rep := range reps {
+		fmt.Printf("  replica %d: %s\n", i, rep.Name)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\ndraining and shutting down")
+	if err := shutdown(); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+}

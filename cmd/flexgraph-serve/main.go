@@ -33,6 +33,7 @@ func main() {
 	batch := flag.Int("batch", flexgraph.DefaultServeBatchSize, "micro-batch flush threshold in query vertices")
 	flush := flag.Duration("flush", flexgraph.DefaultServeFlushInterval, "micro-batch flush deadline")
 	cacheCap := flag.Int("cache-cap", flexgraph.DefaultServeCacheCapacity, "embedding cache capacity in rows (negative disables)")
+	maxVerts := flag.Int("max-vertices", flexgraph.DefaultServeMaxQueryVertices, "per-request vertex cap (negative disables)")
 	datasetName := flag.String("dataset", "reddit", "generated dataset: reddit, fb91, twitter or imdb")
 	loadPath := flag.String("load", "", "load a serialised .fgds dataset instead of generating one")
 	scale := flag.Float64("scale", 0.25, "generated dataset scale factor")
@@ -123,16 +124,17 @@ func main() {
 	tracer := flexgraph.NewTracer(*traceCap)
 	reg := flexgraph.NewMetricsRegistry()
 	srv, err := flexgraph.NewInferenceServer(flexgraph.ServeOptions{
-		Model:         model,
-		Graph:         d.Graph,
-		Features:      d.Features,
-		Engine:        eng,
-		BatchSize:     *batch,
-		FlushInterval: *flush,
-		CacheCapacity: *cacheCap,
-		Seed:          *seed,
-		Metrics:       reg,
-		Tracer:        tracer,
+		Model:            model,
+		Graph:            d.Graph,
+		Features:         d.Features,
+		Engine:           eng,
+		BatchSize:        *batch,
+		FlushInterval:    *flush,
+		CacheCapacity:    *cacheCap,
+		MaxQueryVertices: *maxVerts,
+		Seed:             *seed,
+		Metrics:          reg,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,92 @@
+package router
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// admission is the router's load-shedding gate: a windowed p99 latency
+// estimate (two rotating metrics.Histograms — the completed window plus the
+// one filling) compared against a configured SLO, and an in-flight counter
+// compared against a hard cap. When either trips, Query sheds with a typed
+// *serve.OverloadError instead of queueing into a latency collapse.
+//
+// Recovery is built into the rotation: shed requests are never observed, so
+// after two quiet windows both histograms are empty, the p99 estimate drops
+// to zero and admission resumes. The cumulative router_request_ns histogram
+// in the registry is unaffected — this type only adds the windowing the
+// registry's monotone histograms deliberately do not have.
+type admission struct {
+	slo    time.Duration
+	window time.Duration
+
+	mu      sync.Mutex
+	cur     *metrics.Histogram
+	prev    *metrics.Histogram
+	rotated time.Time
+}
+
+// DefaultSLOWindow is the p99 measurement window when Options.SLOWindow is
+// unset: long enough to hold a meaningful sample, short enough that a
+// traffic spike is detected (and a recovery noticed) within ~2 windows.
+const DefaultSLOWindow = time.Second
+
+func newAdmission(slo, window time.Duration) *admission {
+	if window <= 0 {
+		window = DefaultSLOWindow
+	}
+	return &admission{
+		slo:     slo,
+		window:  window,
+		cur:     &metrics.Histogram{},
+		prev:    &metrics.Histogram{},
+		rotated: time.Now(),
+	}
+}
+
+// observe records one admitted request's latency into the filling window.
+func (a *admission) observe(d time.Duration) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.rotate(time.Now())
+	a.cur.Observe(d.Nanoseconds())
+	a.mu.Unlock()
+}
+
+// rotate advances the windows; callers hold a.mu. A gap of two or more
+// windows clears both histograms at once.
+func (a *admission) rotate(now time.Time) {
+	for now.Sub(a.rotated) >= a.window {
+		a.prev, a.cur = a.cur, &metrics.Histogram{}
+		if now.Sub(a.rotated) >= 2*a.window {
+			// Idle gap: nothing in the last full window either.
+			a.prev = &metrics.Histogram{}
+			a.rotated = now
+			return
+		}
+		a.rotated = a.rotated.Add(a.window)
+	}
+}
+
+// overloaded reports whether the windowed p99 exceeds the SLO, and what the
+// estimate was. With no SLO configured it never trips.
+func (a *admission) overloaded() (p99 time.Duration, over bool) {
+	if a == nil || a.slo <= 0 {
+		return 0, false
+	}
+	a.mu.Lock()
+	a.rotate(time.Now())
+	est := a.prev.Quantile(0.99)
+	if cur := a.cur.Quantile(0.99); cur > est {
+		// Mid-window spikes count immediately; waiting a full window to
+		// notice an overload defeats the point of shedding.
+		est = cur
+	}
+	a.mu.Unlock()
+	p99 = time.Duration(est)
+	return p99, p99 > a.slo
+}

@@ -1,0 +1,108 @@
+package router
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// hotTracker finds the vertices whose query frequency justifies overflow
+// replication. Power-law traffic (hubs of a PowerLawGraph, celebrity
+// vertices) concentrates on a few IDs; pinning those to one consistent-hash
+// owner turns that replica into the fleet's straggler. The tracker counts
+// per-vertex arrivals in rotating windows; a vertex that crossed the
+// threshold in the last completed (or current) window is "hot" and the
+// router spreads its queries round-robin over its primary plus the next
+// replicas on the ring. Each overflow replica then computes and caches the
+// vertex once — replication cost is one cache row per replica, bit-exact by
+// construction because every replica serves the same model over the same
+// graph.
+//
+// Memory is bounded: at most maxTracked counters per window; beyond that,
+// new vertices are not tracked (a vertex hot enough to matter shows up long
+// before the table fills).
+type hotTracker struct {
+	threshold int
+	window    time.Duration
+	maxTrack  int
+
+	mu      sync.Mutex
+	counts  map[graph.VertexID]int
+	hot     map[graph.VertexID]struct{} // crossed threshold in the previous window
+	rotated time.Time
+}
+
+// Defaults for hot-shard overflow replication.
+const (
+	// DefaultHotWindow is the frequency-measurement window.
+	DefaultHotWindow = time.Second
+	// defaultMaxTracked bounds the per-window counter table.
+	defaultMaxTracked = 1 << 16
+)
+
+// newHotTracker returns a tracker marking vertices hot at threshold
+// arrivals per window. threshold <= 0 disables tracking (touch always
+// reports cold).
+func newHotTracker(threshold int, window time.Duration) *hotTracker {
+	if threshold <= 0 {
+		return nil
+	}
+	if window <= 0 {
+		window = DefaultHotWindow
+	}
+	return &hotTracker{
+		threshold: threshold,
+		window:    window,
+		maxTrack:  defaultMaxTracked,
+		counts:    make(map[graph.VertexID]int),
+		hot:       make(map[graph.VertexID]struct{}),
+		rotated:   time.Now(),
+	}
+}
+
+// touch counts one arrival for v and reports whether v is currently hot.
+// A vertex is hot from the moment it crosses the threshold mid-window until
+// the end of the window after the last one it crossed it in.
+func (h *hotTracker) touch(v graph.VertexID) bool {
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := time.Now()
+	if now.Sub(h.rotated) >= h.window {
+		next := make(map[graph.VertexID]struct{})
+		if now.Sub(h.rotated) < 2*h.window {
+			// Vertices hot in the window that just closed stay hot for one
+			// more: traffic skew outlives a 1-window blip, and flapping a
+			// vertex between 1 and k owners churns caches for nothing.
+			for u, n := range h.counts {
+				if n >= h.threshold {
+					next[u] = struct{}{}
+				}
+			}
+		}
+		h.hot = next
+		h.counts = make(map[graph.VertexID]int)
+		h.rotated = now
+	}
+	if _, ok := h.counts[v]; ok || len(h.counts) < h.maxTrack {
+		h.counts[v]++
+	}
+	if h.counts[v] >= h.threshold {
+		return true
+	}
+	_, ok := h.hot[v]
+	return ok
+}
+
+// hotCount reports how many vertices are currently marked hot (metrics).
+func (h *hotTracker) hotCount() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.hot)
+}

@@ -1,0 +1,137 @@
+package router
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ring is a consistent-hash ring over replica indices. Each replica
+// contributes vnodes points (hashes of (replica, vnode)); a vertex hashes
+// onto the circle and belongs to the first point clockwise. The map is a
+// pure function of (replica count, vnodes): every router over the same
+// replica list routes a vertex to the same replica, which is what keeps
+// each replica's embedding cache hot on its own shard.
+//
+// Membership changes are handled by skipping, not rebuilding: owner and
+// successors take an alive mask and walk past dead replicas' points, so
+// evicting a replica moves only its shard (to the next replica clockwise —
+// the consistent-hashing property) and reviving it moves that shard
+// straight back.
+type ring struct {
+	hashes   []uint64 // sorted point hashes
+	replicas []int    // replicas[i] owns hashes[i]
+	n        int
+}
+
+// DefaultVirtualNodes is the per-replica point count. 64 points per replica
+// keeps the max/mean shard-size ratio within ~20% for small fleets while
+// the ring stays a few KiB.
+const DefaultVirtualNodes = 64
+
+// splitmix64 is the finalizer used everywhere in this codebase for cheap
+// high-quality hashing of small integers.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// newRing builds the ring for n replicas with vnodes points each
+// (<= 0 selects DefaultVirtualNodes).
+func newRing(n, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &ring{
+		hashes:   make([]uint64, 0, n*vnodes),
+		replicas: make([]int, 0, n*vnodes),
+		n:        n,
+	}
+	type point struct {
+		h       uint64
+		replica int
+	}
+	pts := make([]point, 0, n*vnodes)
+	for rep := 0; rep < n; rep++ {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, point{splitmix64(uint64(rep)<<32 | uint64(v+1)), rep})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		return pts[i].replica < pts[j].replica // deterministic on (improbable) collisions
+	})
+	for _, p := range pts {
+		r.hashes = append(r.hashes, p.h)
+		r.replicas = append(r.replicas, p.replica)
+	}
+	return r
+}
+
+// start returns the index of the first ring point at or after v's hash.
+func (r *ring) start(v graph.VertexID) int {
+	h := splitmix64(uint64(uint32(v)) + 0x632be59bd9b4e019)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return i
+}
+
+// owner returns v's primary replica among those marked alive. When every
+// replica is dead it falls back to the unfiltered owner (so the caller
+// surfaces that replica's typed error instead of inventing one). ok is
+// false only for an empty ring.
+func (r *ring) owner(v graph.VertexID, alive []bool) (replica int, ok bool) {
+	if len(r.hashes) == 0 {
+		return 0, false
+	}
+	i := r.start(v)
+	for k := 0; k < len(r.hashes); k++ {
+		rep := r.replicas[(i+k)%len(r.hashes)]
+		if alive == nil || alive[rep] {
+			return rep, true
+		}
+	}
+	return r.replicas[i], true
+}
+
+// successors returns up to k distinct replicas for v in ring order starting
+// at its primary, preferring alive replicas (dead ones are appended only if
+// fewer than k alive replicas exist). The slice order is deterministic —
+// the hot-shard spreader round-robins over it.
+func (r *ring) successors(v graph.VertexID, k int, alive []bool) []int {
+	if len(r.hashes) == 0 || k <= 0 {
+		return nil
+	}
+	if k > r.n {
+		k = r.n
+	}
+	i := r.start(v)
+	out := make([]int, 0, k)
+	seen := make([]bool, r.n)
+	var deadOrder []int
+	for step := 0; step < len(r.hashes) && len(out) < k; step++ {
+		rep := r.replicas[(i+step)%len(r.hashes)]
+		if seen[rep] {
+			continue
+		}
+		seen[rep] = true
+		if alive == nil || alive[rep] {
+			out = append(out, rep)
+		} else {
+			deadOrder = append(deadOrder, rep)
+		}
+	}
+	for _, rep := range deadOrder {
+		if len(out) >= k {
+			break
+		}
+		out = append(out, rep)
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package router
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// TestRingDeterministicAndBalanced: the ring is a pure function of
+// (replicas, vnodes) — two routers over the same fleet agree on every
+// vertex — and virtual nodes keep the shards roughly even.
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	const vertices = 30000
+	a := newRing(3, 0)
+	b := newRing(3, 0)
+	counts := make([]int, 3)
+	for v := 0; v < vertices; v++ {
+		ra, ok := a.owner(graph.VertexID(v), nil)
+		if !ok {
+			t.Fatal("owner reported an empty ring")
+		}
+		rb, _ := b.owner(graph.VertexID(v), nil)
+		if ra != rb {
+			t.Fatalf("vertex %d: rings disagree (%d vs %d) — routing is not deterministic", v, ra, rb)
+		}
+		counts[ra]++
+	}
+	for rep, n := range counts {
+		if n < vertices*15/100 {
+			t.Fatalf("replica %d owns %d of %d vertices — ring badly unbalanced: %v",
+				rep, n, vertices, counts)
+		}
+	}
+}
+
+// TestRingFailoverMovesOnlyTheDeadShard: evicting a replica reassigns its
+// vertices to ring successors and nothing else — the consistent-hashing
+// property the embedding caches depend on.
+func TestRingFailoverMovesOnlyTheDeadShard(t *testing.T) {
+	r := newRing(3, 0)
+	dead1 := []bool{true, false, true}
+	allUp := []bool{true, true, true}
+	moved := 0
+	for v := 0; v < 5000; v++ {
+		prim, _ := r.owner(graph.VertexID(v), nil)
+		cur, _ := r.owner(graph.VertexID(v), dead1)
+		if prim != 1 {
+			if cur != prim {
+				t.Fatalf("vertex %d moved from healthy replica %d to %d when replica 1 died", v, prim, cur)
+			}
+			continue
+		}
+		if cur == 1 {
+			t.Fatalf("vertex %d still routed to the dead replica", v)
+		}
+		moved++
+		// Revival moves the shard straight back.
+		if back, _ := r.owner(graph.VertexID(v), allUp); back != prim {
+			t.Fatalf("vertex %d: owner %d after revival, want %d", v, back, prim)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("replica 1 owned no vertices — the failover path was never exercised")
+	}
+}
+
+// TestRingSuccessors: successors are distinct, start at the primary, and
+// sort dead replicas last (they are failover targets of last resort).
+func TestRingSuccessors(t *testing.T) {
+	r := newRing(4, 0)
+	for v := 0; v < 200; v++ {
+		succ := r.successors(graph.VertexID(v), 3, nil)
+		if len(succ) != 3 {
+			t.Fatalf("vertex %d: %d successors, want 3", v, len(succ))
+		}
+		seen := map[int]bool{}
+		for _, rep := range succ {
+			if seen[rep] {
+				t.Fatalf("vertex %d: duplicate replica %d in successors %v", v, rep, succ)
+			}
+			seen[rep] = true
+		}
+		if prim, _ := r.owner(graph.VertexID(v), nil); succ[0] != prim {
+			t.Fatalf("vertex %d: successors %v do not start at primary %d", v, succ, prim)
+		}
+	}
+	// k is capped at the fleet size; a dead replica sorts behind every
+	// alive one.
+	succ := r.successors(7, 10, []bool{false, true, true, true})
+	if len(succ) != 4 {
+		t.Fatalf("successors(k=10) over 4 replicas returned %v", succ)
+	}
+	if succ[3] != 0 {
+		t.Fatalf("dead replica 0 must sort last: %v", succ)
+	}
+}
+
+// TestHotTrackerLifecycle: a vertex turns hot at the in-window threshold,
+// stays hot through the following window, and cools after an idle gap.
+func TestHotTrackerLifecycle(t *testing.T) {
+	const window = 80 * time.Millisecond
+	h := newHotTracker(3, window)
+	if h.touch(1) || h.touch(1) {
+		t.Fatal("vertex below the threshold reported hot")
+	}
+	if !h.touch(1) {
+		t.Fatal("third arrival in the window must turn the vertex hot")
+	}
+	if !h.touch(1) {
+		t.Fatal("hot vertex cooled while still in its window")
+	}
+	if h.touch(2) {
+		t.Fatal("cold vertex reported hot")
+	}
+	time.Sleep(window + window/4)
+	if !h.touch(1) {
+		t.Fatal("hotness must carry into the following window (no cache flapping)")
+	}
+	time.Sleep(2*window + window/4)
+	if h.touch(1) {
+		t.Fatal("hotness survived a two-window idle gap")
+	}
+
+	if newHotTracker(0, window) != nil {
+		t.Fatal("threshold 0 must disable tracking")
+	}
+	var disabled *hotTracker
+	if disabled.touch(3) {
+		t.Fatal("nil tracker must report cold")
+	}
+	if disabled.hotCount() != 0 {
+		t.Fatal("nil tracker must report zero hot vertices")
+	}
+}
+
+// TestAdmissionShedAndRecover: one over-SLO observation trips the gate
+// immediately; two idle windows drain the estimate and admission resumes —
+// the recovery property a cumulative histogram cannot give.
+func TestAdmissionShedAndRecover(t *testing.T) {
+	const window = 60 * time.Millisecond
+	a := newAdmission(5*time.Millisecond, window)
+	if _, over := a.overloaded(); over {
+		t.Fatal("empty windows must admit")
+	}
+	a.observe(40 * time.Millisecond)
+	p99, over := a.overloaded()
+	if !over || p99 <= 5*time.Millisecond {
+		t.Fatalf("after a 40ms observation against a 5ms SLO: p99=%v over=%v", p99, over)
+	}
+	time.Sleep(2*window + window/2)
+	if p99, over := a.overloaded(); over {
+		t.Fatalf("admission did not recover after an idle gap: p99=%v", p99)
+	}
+
+	// No SLO configured: never sheds, whatever the latency.
+	n := newAdmission(0, window)
+	n.observe(time.Hour)
+	if _, over := n.overloaded(); over {
+		t.Fatal("SLO 0 must disable latency shedding")
+	}
+}

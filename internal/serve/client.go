@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// ClientOptions configures NewClient.
+type ClientOptions struct {
+	// HTTPClient overrides the transport; nil builds a dedicated
+	// http.Client (its connection pool is released by Close).
+	HTTPClient *http.Client
+	// Timeout bounds one Query round trip when the caller's context
+	// carries no deadline (<= 0 selects DefaultClientTimeout).
+	Timeout time.Duration
+}
+
+// DefaultClientTimeout bounds a Query round trip when neither the context
+// nor ClientOptions.Timeout sets one — a remote replica that stops
+// answering must surface as a typed error, not a hang.
+const DefaultClientTimeout = 30 * time.Second
+
+// Client is a Querier over HTTP: it speaks the /v1/predict and /v1/healthz
+// surface a remote Server (or Router) exposes and maps non-200 answers back
+// onto the same typed errors a local Server returns — ErrBadVertex,
+// ErrClosed, *OverloadError, *QueryLimitError — so callers cannot tell a
+// remote replica from an in-process one by error shape.
+type Client struct {
+	base    string
+	hc      *http.Client
+	ownHC   bool
+	timeout time.Duration
+	version atomic.Int64
+	closed  atomic.Bool
+}
+
+// NewClient returns a Querier speaking to the replica at baseURL (e.g.
+// "http://10.0.0.7:8090"; a bare host:port gets "http://" prepended).
+func NewClient(baseURL string, opts ClientOptions) *Client {
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      opts.HTTPClient,
+		timeout: opts.Timeout,
+	}
+	if c.hc == nil {
+		c.hc = &http.Client{}
+		c.ownHC = true
+	}
+	if c.timeout <= 0 {
+		c.timeout = DefaultClientTimeout
+	}
+	return c
+}
+
+// Addr returns the replica base URL the client dials.
+func (c *Client) Addr() string { return c.base }
+
+// Query sends the vertices to the remote replica's /v1/predict and returns
+// its Reply. Errors the replica answered with come back typed; transport
+// failures come back wrapped with the replica address.
+func (c *Client) Query(ctx context.Context, vertices []graph.VertexID) (*Reply, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	body, err := json.Marshal(predictRequest{Vertices: vertices})
+	if err != nil {
+		return nil, fmt.Errorf("serve: client %s: encode: %w", c.base, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("serve: client %s: %w", c.base, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: client %s: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(c.base, resp)
+	}
+	var reply Reply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, fmt.Errorf("serve: client %s: decode reply: %w", c.base, err)
+	}
+	c.version.Store(reply.ModelVersion)
+	return &reply, nil
+}
+
+// Ping checks the replica's /v1/healthz and records the model version it
+// reports. The router's health loop uses it to restore evicted replicas.
+func (c *Client) Ping(ctx context.Context) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("serve: client %s: %w", c.base, err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("serve: client %s: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(c.base, resp)
+	}
+	var health struct {
+		ModelVersion int64 `json:"model_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return fmt.Errorf("serve: client %s: decode healthz: %w", c.base, err)
+	}
+	c.version.Store(health.ModelVersion)
+	return nil
+}
+
+// ModelVersion returns the model version the replica last reported through
+// a Query reply or Ping (0 before first contact).
+func (c *Client) ModelVersion() int64 { return c.version.Load() }
+
+// Close marks the client closed (subsequent calls fail with ErrClosed) and
+// releases its private connection pool. A shared ClientOptions.HTTPClient
+// is left untouched.
+func (c *Client) Close() {
+	c.closed.Store(true)
+	if c.ownHC {
+		c.hc.CloseIdleConnections()
+	}
+}
+
+// decodeError reconstructs the typed error behind a non-200 reply from its
+// status code and the errorReply body the handler wrote.
+func decodeError(base string, resp *http.Response) error {
+	var er errorReply
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	_ = json.Unmarshal(raw, &er)
+	msg := er.Error
+	if msg == "" {
+		msg = strings.TrimSpace(string(raw))
+		if msg == "" {
+			msg = resp.Status
+		}
+	}
+	switch {
+	case er.Code == "bad_vertex" || resp.StatusCode == http.StatusBadRequest && strings.Contains(msg, ErrBadVertex.Error()):
+		return fmt.Errorf("serve: client %s: %w: %s", base, ErrBadVertex, msg)
+	case er.Code == "overload" || resp.StatusCode == http.StatusTooManyRequests:
+		return &OverloadError{
+			P99: time.Duration(er.P99NS), SLO: time.Duration(er.SLONS),
+			Inflight: er.Count, MaxInflight: er.Limit,
+		}
+	case er.Code == "too_many_vertices":
+		return &QueryLimitError{Count: er.Count, Limit: er.Limit}
+	case er.Code == "closed" || resp.StatusCode == http.StatusServiceUnavailable:
+		return fmt.Errorf("serve: client %s: %w", base, ErrClosed)
+	default:
+		return fmt.Errorf("serve: client %s: HTTP %d: %s", base, resp.StatusCode, msg)
+	}
+}

@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// fakeQuerier is a scriptable Querier for HTTP-surface and client tests.
+type fakeQuerier struct {
+	delay   time.Duration
+	err     atomic.Pointer[error]
+	version int64
+	calls   atomic.Int64
+}
+
+func (f *fakeQuerier) Query(ctx context.Context, vertices []graph.VertexID) (*Reply, error) {
+	f.calls.Add(1)
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if ep := f.err.Load(); ep != nil {
+		return nil, *ep
+	}
+	results := make([]Result, len(vertices))
+	for i, v := range vertices {
+		results[i] = Result{Vertex: v, Logits: []float32{float32(v), -float32(v)}, Class: 0}
+	}
+	return &Reply{ModelVersion: f.version, Results: results}, nil
+}
+
+func (f *fakeQuerier) ModelVersion() int64 { return f.version }
+func (f *fakeQuerier) Close()              {}
+
+func (f *fakeQuerier) setErr(err error) {
+	if err == nil {
+		f.err.Store(nil)
+		return
+	}
+	f.err.Store(&err)
+}
+
+// TestServerQueryLimit: the per-request vertex cap fails typed, directly
+// and with the configured limit in the error.
+func TestServerQueryLimit(t *testing.T) {
+	tr, d := trainedGCN(t, 0.03)
+	s, _ := newServer(t, tr, d, Options{MaxQueryVertices: 3})
+	var limitErr *QueryLimitError
+	_, err := s.Query(context.Background(), []graph.VertexID{0, 1, 2, 3})
+	if !errors.As(err, &limitErr) {
+		t.Fatalf("over-limit query: err = %v, want *QueryLimitError", err)
+	}
+	if limitErr.Count != 4 || limitErr.Limit != 3 {
+		t.Fatalf("limit error fields: %+v", limitErr)
+	}
+	if _, err := s.Query(context.Background(), []graph.VertexID{0, 1, 2}); err != nil {
+		t.Fatalf("at-limit query failed: %v", err)
+	}
+
+	// A negative cap removes the limit entirely.
+	s2, _ := newServer(t, tr, d, Options{MaxQueryVertices: -1})
+	many := make([]graph.VertexID, DefaultMaxQueryVertices+1)
+	for i := range many {
+		many[i] = graph.VertexID(i % d.Graph.NumVertices())
+	}
+	if _, err := s2.Query(context.Background(), many); err != nil {
+		t.Fatalf("uncapped query failed: %v", err)
+	}
+}
+
+// TestHTTPErrorPaths covers every hardened error path of the /v1 surface:
+// malformed JSON, oversize bodies, over-limit queries, wrong methods and a
+// closed server — each with its machine-readable error code.
+func TestHTTPErrorPaths(t *testing.T) {
+	tr, d := trainedGCN(t, 0.03)
+	s, _ := newServer(t, tr, d, Options{MaxQueryVertices: 4})
+	ts := httptest.NewServer(NewHTTPHandler(s, HTTPOptions{MaxBodyBytes: 128}))
+	defer ts.Close()
+
+	post := func(body string) (int, errorReply) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var er errorReply
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return resp.StatusCode, er
+	}
+
+	if code, er := post(`{nope`); code != http.StatusBadRequest || er.Code != "bad_request" {
+		t.Fatalf("malformed JSON: %d %+v", code, er)
+	}
+	big := fmt.Sprintf(`{"vertices":[%s1]}`, strings.Repeat("1,", 200))
+	if code, er := post(big); code != http.StatusRequestEntityTooLarge || er.Code != "body_too_large" {
+		t.Fatalf("oversize body: %d %+v", code, er)
+	}
+	if code, er := post(`{"vertices":[0,1,2,3,4]}`); code != http.StatusRequestEntityTooLarge ||
+		er.Code != "too_many_vertices" || er.Count != 5 || er.Limit != 4 {
+		t.Fatalf("over-limit query: %d %+v", code, er)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/predict"); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET predict: %v %v", err, resp.Status)
+	}
+	resp, err := http.Post(ts.URL+"/v1/healthz", "application/json", strings.NewReader("{}"))
+	if err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST healthz: %v %v", err, resp.Status)
+	}
+
+	s.Close()
+	if code, er := post(`{"vertices":[0]}`); code != http.StatusServiceUnavailable || er.Code != "closed" {
+		t.Fatalf("closed server: %d %+v", code, er)
+	}
+}
+
+// TestHTTPOverloadReply: an *OverloadError surfaces as HTTP 429 with its
+// payload fields and a Retry-After header.
+func TestHTTPOverloadReply(t *testing.T) {
+	f := &fakeQuerier{version: 7}
+	f.setErr(&OverloadError{P99: 80 * time.Millisecond, SLO: 50 * time.Millisecond})
+	ts := httptest.NewServer(NewHTTPHandler(f, HTTPOptions{}))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(`{"vertices":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("overload reply: %s retry-after=%q", resp.Status, resp.Header.Get("Retry-After"))
+	}
+	var er errorReply
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Code != "overload" || er.P99NS != (80*time.Millisecond).Nanoseconds() || er.SLONS != (50*time.Millisecond).Nanoseconds() {
+		t.Fatalf("overload body: %+v", er)
+	}
+}
+
+// TestClientTypedErrors: the HTTP client maps every non-200 reply back onto
+// the typed error the remote Querier returned.
+func TestClientTypedErrors(t *testing.T) {
+	tr, d := trainedGCN(t, 0.03)
+	s, _ := newServer(t, tr, d, Options{MaxQueryVertices: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, ClientOptions{})
+	defer c.Close()
+	ctx := context.Background()
+
+	// Success first: reply shape and version tracking.
+	reply, err := c.Query(ctx, []graph.VertexID{0, 2})
+	if err != nil || len(reply.Results) != 2 || reply.Results[1].Vertex != 2 {
+		t.Fatalf("query: %v %+v", err, reply)
+	}
+	if c.ModelVersion() != 1 {
+		t.Fatalf("client version = %d, want 1", c.ModelVersion())
+	}
+	whole, err := tr.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, reply, whole)
+
+	if _, err := c.Query(ctx, []graph.VertexID{graph.VertexID(d.Graph.NumVertices())}); !errors.Is(err, ErrBadVertex) {
+		t.Fatalf("bad vertex: err = %v, want ErrBadVertex", err)
+	}
+	var limitErr *QueryLimitError
+	if _, err := c.Query(ctx, []graph.VertexID{0, 1, 2, 3, 4}); !errors.As(err, &limitErr) {
+		t.Fatalf("over limit: err = %v, want *QueryLimitError", err)
+	} else if limitErr.Count != 5 || limitErr.Limit != 4 {
+		t.Fatalf("limit fields: %+v", limitErr)
+	}
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	s.Close()
+	if _, err := c.Query(ctx, []graph.VertexID{0}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed server: err = %v, want ErrClosed", err)
+	}
+
+	c.Close()
+	if _, err := c.Query(ctx, []graph.VertexID{0}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed client: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestClientOverloadMapping: a 429 comes back as *OverloadError with the
+// remote's payload intact.
+func TestClientOverloadMapping(t *testing.T) {
+	f := &fakeQuerier{version: 3}
+	f.setErr(&OverloadError{Inflight: 9, MaxInflight: 8})
+	ts := httptest.NewServer(NewHTTPHandler(f, HTTPOptions{}))
+	defer ts.Close()
+	c := NewClient(ts.URL, ClientOptions{})
+	defer c.Close()
+	var overload *OverloadError
+	if _, err := c.Query(context.Background(), []graph.VertexID{1}); !errors.As(err, &overload) {
+		t.Fatalf("err = %v, want *OverloadError", err)
+	} else if overload.Inflight != 9 || overload.MaxInflight != 8 {
+		t.Fatalf("overload fields: %+v", overload)
+	}
+
+	f.setErr(nil)
+	if _, err := c.Query(context.Background(), []graph.VertexID{1}); err != nil {
+		t.Fatalf("recovered query: %v", err)
+	}
+	if c.ModelVersion() != 3 {
+		t.Fatalf("version after recovery = %d, want 3", c.ModelVersion())
+	}
+}
+
+// TestClientTransportError: a dead address fails wrapped (not hung) and is
+// not mistaken for a typed serving error.
+func TestClientTransportError(t *testing.T) {
+	c := NewClient("127.0.0.1:1", ClientOptions{Timeout: time.Second})
+	defer c.Close()
+	_, err := c.Query(context.Background(), []graph.VertexID{0})
+	if err == nil {
+		t.Fatal("query against dead address succeeded")
+	}
+	if errors.Is(err, ErrBadVertex) || errors.Is(err, ErrClosed) {
+		t.Fatalf("transport error mapped to a typed serving error: %v", err)
+	}
+}
+
+// TestListenAndServeDrain: the shutdown func drains in-flight requests
+// instead of dropping them (the old srv.Close behaviour).
+func TestListenAndServeDrain(t *testing.T) {
+	f := &fakeQuerier{version: 1, delay: 300 * time.Millisecond}
+	addr, shutdown, err := ListenAndServe("127.0.0.1:0", NewHTTPHandler(f, HTTPOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		code int
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post("http://"+addr+"/v1/predict", "application/json",
+			strings.NewReader(`{"vertices":[5]}`))
+		if err != nil {
+			done <- result{0, err}
+			return
+		}
+		defer resp.Body.Close()
+		var reply Reply
+		if derr := json.NewDecoder(resp.Body).Decode(&reply); derr != nil {
+			done <- result{resp.StatusCode, derr}
+			return
+		}
+		done <- result{resp.StatusCode, nil}
+	}()
+
+	time.Sleep(100 * time.Millisecond) // the request is now in flight
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	r := <-done
+	if r.err != nil || r.code != http.StatusOK {
+		t.Fatalf("in-flight request dropped during shutdown: code=%d err=%v", r.code, r.err)
+	}
+	// The listener is gone: new connections fail.
+	if _, err := http.Get("http://" + addr + "/v1/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}

@@ -58,6 +58,8 @@ const (
 	DefaultCacheCapacity = 1 << 16
 	// DefaultQueueDepth is the pending-request channel capacity.
 	DefaultQueueDepth = 256
+	// DefaultMaxQueryVertices bounds one request's vertex count.
+	DefaultMaxQueryVertices = 4096
 )
 
 // Options configures New. Model, Graph and Features are required; everything
@@ -91,6 +93,11 @@ type Options struct {
 	// QueueDepth is the pending-request buffer (<= 0 selects
 	// DefaultQueueDepth). Beyond it, Query blocks — natural backpressure.
 	QueueDepth int
+	// MaxQueryVertices caps the vertex count of one Query; past it the
+	// request fails with a *QueryLimitError (HTTP 413) instead of
+	// monopolising micro-batches. 0 selects DefaultMaxQueryVertices; a
+	// negative value removes the cap.
+	MaxQueryVertices int
 }
 
 // Result is one answered query vertex.
@@ -130,6 +137,7 @@ type Server struct {
 
 	batchSize int
 	flush     time.Duration
+	maxVerts  int
 
 	cache   *embedCache
 	version atomic.Int64
@@ -192,6 +200,10 @@ func New(opts Options) (*Server, error) {
 	if queue <= 0 {
 		queue = DefaultQueueDepth
 	}
+	maxVerts := opts.MaxQueryVertices
+	if maxVerts == 0 {
+		maxVerts = DefaultMaxQueryVertices
+	}
 	s := &Server{
 		model:     opts.Model,
 		graph:     opts.Graph,
@@ -202,6 +214,7 @@ func New(opts Options) (*Server, error) {
 		seed:      opts.Seed,
 		batchSize: batch,
 		flush:     flush,
+		maxVerts:  maxVerts,
 		cache:     newEmbedCache(capacity, opts.Metrics),
 		reg:       opts.Metrics,
 		tracer:    opts.Tracer,
@@ -271,6 +284,10 @@ func (s *Server) Query(ctx context.Context, vertices []graph.VertexID) (*Reply, 
 	s.reg.Counter("serve_request_vertices_total").Add(int64(len(vertices)))
 	if len(vertices) == 0 {
 		return &Reply{ModelVersion: s.version.Load()}, nil
+	}
+	if s.maxVerts > 0 && len(vertices) > s.maxVerts {
+		s.reg.Counter("serve_errors_total").Inc()
+		return nil, &QueryLimitError{Count: len(vertices), Limit: s.maxVerts}
 	}
 	n := s.graph.NumVertices()
 	for _, v := range vertices {

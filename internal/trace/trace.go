@@ -35,6 +35,11 @@ const (
 	// CatServe marks online-inference work (a request waiting for its
 	// micro-batch, or one batch's planning + forward pass).
 	CatServe = "serve"
+	// CatRoute marks routing-tier work: a routed request's admission +
+	// fan-out + merge, and each per-replica shard query inside it. On a
+	// Perfetto timeline the shard spans nest under the route span, so a
+	// slow routed request shows which replica held it up.
+	CatRoute = "route"
 	// CatSample marks data-plane sampling work: a prefetch worker
 	// materialising a batch (neighbor selection + feature gather) and the
 	// trainer's wait for the next ready batch. With prefetch overlapping

@@ -2,6 +2,7 @@ package flexgraph
 
 import (
 	"repro/internal/nau"
+	"repro/internal/router"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
@@ -23,6 +24,22 @@ import (
 // Or over HTTP, sharing one listener with /metrics and /trace:
 //
 //	addr, shutdown, err := srv.ListenAndServe(":8090")
+//
+// Every serving tier satisfies Querier — a local InferenceServer, a
+// ServeClient dialing a remote replica, and a Router fanning out over a
+// replica fleet — so code written against Querier is deployment-agnostic:
+//
+//	var q flexgraph.Querier = srv                                  // local
+//	q = flexgraph.NewServeClient("10.0.0.7:8090", …)               // remote
+//	q, _ = flexgraph.NewRouter(flexgraph.RouterOptions{Replicas: …}) // fleet
+//
+// Migration notes (PR 10): (*InferenceServer).ListenAndServe's shutdown
+// func now drains in-flight requests (up to 5 s) instead of dropping them;
+// /v1/predict bodies are bounded (1 MiB, HTTP 413 past it) and queries are
+// capped at ServeOptions.MaxQueryVertices vertices (default 4096, typed
+// *QueryLimitError / HTTP 413; negative disables); /v1/healthz rejects
+// non-GET methods. Code that queried the HTTP surface with well-formed
+// requests is unaffected.
 type (
 	// InferenceServer is the online inference service.
 	InferenceServer = serve.Server
@@ -32,12 +49,47 @@ type (
 	ServeReply = serve.Reply
 	// ServeResult is one answered query vertex inside a ServeReply.
 	ServeResult = serve.Result
+	// Querier is the serving abstraction all three tiers satisfy: Query
+	// per-vertex in input order, ModelVersion, Close.
+	Querier = serve.Querier
+	// ServeClient is a Querier over HTTP to one remote replica, mapping
+	// non-200 replies back onto the same typed errors a local server
+	// returns.
+	ServeClient = serve.Client
+	// ServeClientOptions configures NewServeClient.
+	ServeClientOptions = serve.ClientOptions
+	// ServeHTTPOptions configures NewServeHandler.
+	ServeHTTPOptions = serve.HTTPOptions
+	// Router is the scale-out serving tier: consistent-hash fan-out over
+	// N replicas with health-checked ring eviction, admission control and
+	// hot-shard overflow replication. Satisfies Querier.
+	Router = router.Router
+	// RouterOptions configures NewRouter.
+	RouterOptions = router.Options
+	// RouterReplica names one backend Querier of a Router.
+	RouterReplica = router.Replica
+	// OverloadError reports admission-control load shedding (HTTP 429).
+	OverloadError = serve.OverloadError
+	// QueryLimitError reports a query over the per-request vertex cap
+	// (HTTP 413).
+	QueryLimitError = serve.QueryLimitError
 )
 
 var (
 	// NewInferenceServer starts an online inference server over a trained
 	// model.
 	NewInferenceServer = serve.New
+	// NewServeClient returns a Querier speaking to a remote replica (an
+	// InferenceServer's or Router's HTTP surface) at a base URL.
+	NewServeClient = serve.NewClient
+	// NewRouter starts a routing tier over a replica fleet.
+	NewRouter = router.New
+	// NewServeHandler builds the /v1/predict + /v1/healthz HTTP surface
+	// over any Querier — the handler the serving tiers share.
+	NewServeHandler = serve.NewHTTPHandler
+	// ListenAndServeHandler binds an address and serves any handler with
+	// the serving tier's graceful-drain shutdown contract.
+	ListenAndServeHandler = serve.ListenAndServe
 	// ErrServerClosed reports a query against a closed InferenceServer.
 	ErrServerClosed = serve.ErrClosed
 	// ErrBadVertex reports a query vertex outside the served graph.
@@ -45,8 +97,12 @@ var (
 )
 
 // TraceCatServe tags inference-serving spans ("request", "batch") on the
-// trace timeline.
-const TraceCatServe = trace.CatServe
+// trace timeline; TraceCatRoute tags routing-tier spans ("route",
+// "shard:<replica>").
+const (
+	TraceCatServe = trace.CatServe
+	TraceCatRoute = trace.CatRoute
+)
 
 // Serving defaults, re-exported for flag declarations.
 const (
@@ -56,6 +112,21 @@ const (
 	DefaultServeFlushInterval = serve.DefaultFlushInterval
 	// DefaultServeCacheCapacity is the embedding cache bound in rows.
 	DefaultServeCacheCapacity = serve.DefaultCacheCapacity
+	// DefaultServeMaxQueryVertices is the per-request vertex cap.
+	DefaultServeMaxQueryVertices = serve.DefaultMaxQueryVertices
+	// DefaultRouterVirtualNodes is the per-replica consistent-hash point
+	// count.
+	DefaultRouterVirtualNodes = router.DefaultVirtualNodes
+	// DefaultRouterMaxInflight is the router's admission cap.
+	DefaultRouterMaxInflight = router.DefaultMaxInflight
+	// DefaultRouterHealthEvery is the evicted-replica probe period.
+	DefaultRouterHealthEvery = router.DefaultHealthEvery
+	// DefaultRouterReplication is how many replicas share a hot vertex.
+	DefaultRouterReplication = router.DefaultReplicationFactor
+	// DefaultRouterSLOWindow is the admission p99 measurement window.
+	DefaultRouterSLOWindow = router.DefaultSLOWindow
+	// DefaultRouterHotWindow is the hot-vertex measurement window.
+	DefaultRouterHotWindow = router.DefaultHotWindow
 )
 
 // TrainerOptions configures NewTrainerWith — the keyword-argument
